@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot kernels:
+ * the event queue, token channels, the switch's per-token processing
+ * (the quantity the host performance model calls switchTokenNs), and
+ * the RV64 interpreter. These measure the reproduction's own
+ * performance, complementing the experiment harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "net/fabric.hh"
+#include "riscv/assembler.hh"
+#include "riscv/core.hh"
+#include "sim/event_queue.hh"
+#include "switchmodel/switch.hh"
+#include "tests/net/scripted_endpoint.hh"
+
+namespace firesim
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Cycles>(i * 7 % 997), [&] { ++sink; });
+        q.drain();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_SwitchTokenProcessing(benchmark::State &state)
+{
+    // Mirrors the host model's switchTokenNs: cost of pushing frames
+    // through a ToR-sized switch, per token.
+    const uint32_t ports = static_cast<uint32_t>(state.range(0));
+    SwitchConfig cfg;
+    cfg.ports = ports;
+    Switch sw(cfg);
+    ScriptedEndpoint rx("rx");
+    std::vector<std::unique_ptr<ScriptedEndpoint>> eps;
+    TokenFabric fabric;
+    for (uint32_t i = 0; i < ports; ++i) {
+        eps.push_back(std::make_unique<ScriptedEndpoint>("ep"));
+        fabric.addEndpoint(eps.back().get());
+    }
+    fabric.addEndpoint(&sw);
+    for (uint32_t i = 0; i < ports; ++i) {
+        sw.addMacEntry(MacAddr(i + 1), i);
+        fabric.connect(eps[i].get(), 0, &sw, i, 6400);
+    }
+    fabric.finalize();
+
+    EthFrame frame(MacAddr(2), MacAddr(1), EtherType::Raw,
+                   std::vector<uint8_t>(1000, 0));
+    uint64_t tokens = 0;
+    for (auto _ : state) {
+        eps[0]->sendAt(fabric.now() + 1, frame);
+        fabric.run(6400);
+        tokens += 6400ULL * ports;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(tokens));
+}
+BENCHMARK(BM_SwitchTokenProcessing)->Arg(4)->Arg(9)->Arg(33);
+
+void
+BM_TokenChannelPushPop(benchmark::State &state)
+{
+    TokenChannel ch(6400, 6400);
+    ch.pop();
+    Cycles t = 0;
+    for (auto _ : state) {
+        TokenBatch b(t, 6400);
+        Flit f;
+        f.offset = 5;
+        f.size = 8;
+        f.last = true;
+        b.push(f);
+        ch.push(std::move(b));
+        benchmark::DoNotOptimize(ch.pop());
+        t += 6400;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenChannelPushPop);
+
+void
+BM_RocketCoreMips(benchmark::State &state)
+{
+    FunctionalMemory mem(16 * MiB);
+    MemHierarchy hier(1);
+    RocketCore core(CoreConfig{}, mem, hier, nullptr);
+
+    Assembler a(mem, memmap::kDramBase);
+    using namespace regs;
+    Assembler::Label loop = a.newLabel();
+    a.li(t0, 1);
+    a.bind(loop);
+    for (int i = 0; i < 16; ++i)
+        a.addi(a0, a0, 1);
+    a.j(loop);
+    a.finalize();
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.run(100000).instret);
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_RocketCoreMips);
+
+void
+BM_CacheHitPath(benchmark::State &state)
+{
+    DramModel dram;
+    Cache cache(CacheConfig{}, nullptr, &dram);
+    cache.access(0x1000, 8, false, 0);
+    Cycles now = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(0x1000, 8, false, now));
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitPath);
+
+} // namespace
+} // namespace firesim
+
+BENCHMARK_MAIN();

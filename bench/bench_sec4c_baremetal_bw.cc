@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section IV-C: bare-metal node-to-node bandwidth.
+ *
+ * "To separate out the limits of the software stack from our NIC
+ * hardware and simulation environment, we implemented a bare-metal
+ * bandwidth benchmarking test that directly interfaces with the NIC
+ * hardware ... a single NIC is able to drive 100 Gbit/s of traffic
+ * onto the network, confirming that our current Linux networking
+ * software stack is a bottleneck."
+ *
+ * The receiver verifies payload contents and acknowledges completion,
+ * as in the paper.
+ */
+
+#include "apps/baremetal_stream.hh"
+#include "bench/common.hh"
+#include "net/fabric.hh"
+
+using namespace firesim;
+
+namespace
+{
+
+double
+runOnce(uint32_t frame_bytes, uint64_t frames, uint64_t &corrupt)
+{
+    BladeConfig txc, rxc;
+    txc.name = "tx";
+    txc.mac = MacAddr(0xa);
+    rxc.name = "rx";
+    rxc.mac = MacAddr(0xb);
+    ServerBlade tx(txc), rx(rxc);
+    TokenFabric fabric;
+    fabric.addEndpoint(&tx);
+    fabric.addEndpoint(&rx);
+    fabric.connect(&tx, 0, &rx, 0, 6400); // 2 us link
+    fabric.finalize();
+
+    BareMetalTxConfig cfg;
+    cfg.dstMac = MacAddr(0xb);
+    cfg.frames = frames;
+    cfg.frameBytes = frame_bytes;
+    BareMetalTxStats txs;
+    BareMetalRxStats rxs;
+    launchBareMetalReceiver(rx, frames, MacAddr(0xa), &rxs);
+    launchBareMetalSender(tx, cfg, &txs);
+
+    // Run until the ack lands (sender side observes completion).
+    for (int i = 0; i < 200 && !txs.ackReceived; ++i)
+        fabric.run(64000);
+    if (rxs.framesReceived != frames)
+        fatal("receiver saw %llu of %llu frames",
+              (unsigned long long)rxs.framesReceived,
+              (unsigned long long)frames);
+    corrupt = rxs.corruptFrames;
+    return rxs.gbps(3.2);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section IV-C", "Bare-metal node-to-node bandwidth");
+    uint64_t frames = bench::fullScale() ? 2000 : 500;
+
+    Table t({"Frame size (bytes)", "Goodput (Gbit/s)", "Verified",
+             "Reference"});
+    for (uint32_t bytes : {1518u, 4096u, 8192u}) {
+        uint64_t corrupt = ~0ULL;
+        double gbps = runOnce(bytes, frames, corrupt);
+        t.addRow({Table::fmt(bytes, 0), Table::fmt(gbps, 1),
+                  corrupt == 0 ? "yes" : "CORRUPT",
+                  bytes == 4096
+                      ? bench::paperRef("~100 Gbit/s from one NIC")
+                      : ""});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("The NIC's memory-system path (4 B/cycle DMA) caps a "
+                "single sender near 100 Gbit/s on the 200 Gbit/s link; "
+                "compare the ~1.4 Gbit/s OS-stack result (IV-B).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmarks. Each
+ * binary regenerates one table or figure from the paper (see
+ * DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+ * results).
+ */
+
+#ifndef FIRESIM_BENCH_COMMON_HH
+#define FIRESIM_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/table.hh"
+#include "base/units.hh"
+
+namespace firesim::bench
+{
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("================================================================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Paper-reported reference value, for side-by-side printing. */
+inline std::string
+paperRef(const std::string &what)
+{
+    return "paper: " + what;
+}
+
+/** True when the environment requests full-scale (slow) runs. */
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("FIRESIM_FULL");
+    return env && env[0] == '1';
+}
+
+/** Wall-clock stopwatch for simulation-rate measurements. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace firesim::bench
+
+#endif // FIRESIM_BENCH_COMMON_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's Figure 1 datacenter: 64 quad-core nodes under 8 ToR
+ * switches and one root switch, written exactly as the Figure 4
+ * manager configuration describes it. Demonstrates:
+ *  - programmatic topology construction,
+ *  - the automatic MAC/IP assignment and switch-table population,
+ *  - intra-rack vs cross-rack latency measurement,
+ *  - the EC2 deployment mapping and cost model for this target.
+ */
+
+#include <cstdio>
+
+#include "host/deployment.hh"
+#include "host/perf_model.hh"
+#include "manager/cluster.hh"
+#include "manager/topology.hh"
+
+using namespace firesim;
+
+int
+main()
+{
+    // root = SwitchNode(); level2switches = [SwitchNode() x 8];
+    // servers = [[ServerNode("QuadCore") x 8] x 8]  (paper Fig. 4)
+    SwitchSpec root;
+    for (int rack = 0; rack < 8; ++rack) {
+        SwitchSpec *tor = root.addSwitch();
+        tor->addServers(8, ServerSpec::quadCore());
+    }
+
+    // Deployment mapping + economics before we even simulate.
+    DeploymentPlan std_plan = planDeployment(root, false);
+    std::printf("deployment (standard):  %s\n", std_plan.summary().c_str());
+    DeploymentPlan sup_plan = planDeployment(root, true);
+    std::printf("deployment (supernode): %s\n", sup_plan.summary().c_str());
+    SimRateEstimate est = estimateSimRate(root, sup_plan, 6400, 3.2);
+    std::printf("predicted F1 simulation rate: %.1f MHz (%.0fx slowdown)\n",
+                est.targetMhz, est.slowdown(3.2));
+
+    ClusterConfig config;
+    Cluster cluster(std::move(root), config);
+    std::printf("built %zu nodes / %zu switches; node0=%s mac=%s\n",
+                cluster.nodeCount(), cluster.switchCount(),
+                ipStr(cluster.node(0).ip()).c_str(),
+                cluster.node(0).mac().str().c_str());
+
+    // Same-rack (node0 -> node1) vs cross-rack (node0 -> node63) pings.
+    Cycles local_rtt = 0, cross_rtt = 0;
+    NodeSystem &n0 = cluster.node(0);
+    n0.os().spawn("probe", -1, [&]() -> Task<> {
+        local_rtt = co_await n0.net().ping(Cluster::ipFor(1));
+        cross_rtt = co_await n0.net().ping(Cluster::ipFor(63));
+    });
+    cluster.runUs(500.0);
+
+    TargetClock clk = cluster.clock();
+    std::printf("same-rack RTT:  %.2f us\n", clk.usFromCycles(local_rtt));
+    std::printf("cross-rack RTT: %.2f us (+%.2f us: four more link "
+                "crossings and two switch hops through the root)\n",
+                clk.usFromCycles(cross_rtt),
+                clk.usFromCycles(cross_rtt - local_rtt));
+    return local_rtt > 0 && cross_rtt > local_rtt ? 0 : 1;
+}

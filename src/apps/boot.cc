@@ -1,0 +1,76 @@
+#include "apps/boot.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+/** Read @p sectors from the block device in tracker-sized chunks. */
+Task<>
+readImage(NodeSystem &node, uint64_t staging, uint32_t first_sector,
+          uint32_t sectors)
+{
+    BlockDevice &dev = node.blade().blockDevice();
+    constexpr uint32_t kChunk = 256; // 128 KiB per request
+    WaitQueue wait;
+    uint32_t issued_sector = first_sector;
+    uint32_t remaining = sectors;
+    while (remaining > 0) {
+        uint32_t count = std::min(kChunk, remaining);
+        auto id = dev.request(false, staging, issued_sector, count);
+        if (!id) {
+            // All trackers busy: back off briefly, as a driver would.
+            co_await node.os().sleepFor(3200);
+            continue;
+        }
+        issued_sector += count;
+        remaining -= count;
+        // Block until this chunk completes (simple synchronous loader).
+        while (!dev.popCompletion())
+            co_await node.os().sleepFor(1600);
+        co_await node.os().cpu(8000); // per-chunk driver work
+    }
+}
+
+} // namespace
+
+void
+launchBootWorkload(NodeSystem &node, BootConfig cfg, BootResult *out)
+{
+    uint32_t cores = node.os().config().cores;
+    auto remaining = std::make_shared<uint32_t>(cores);
+
+    node.os().spawn("boot/init", 0, [&node, cfg, out,
+                                     remaining]() -> Task<> {
+        Cycles start = node.os().now();
+        // Bootloader: stream the kernel image, then filesystem bits.
+        co_await readImage(node, cfg.stagingAddr, 0, cfg.kernelSectors);
+        co_await readImage(node, cfg.stagingAddr, cfg.kernelSectors,
+                           cfg.fsMetadataSectors);
+        // Kernel init on the boot core.
+        co_await node.os().cpu(cfg.initCyclesPerCore);
+        --*remaining;
+        // Secondary harts come up in parallel.
+        for (uint32_t c = 1; c < node.os().config().cores; ++c) {
+            node.os().spawn(csprintf("boot/hart%u", c),
+                            static_cast<int>(c),
+                            [&node, cfg, out, remaining,
+                             start]() -> Task<> {
+                                co_await node.os().cpu(
+                                    cfg.initCyclesPerCore);
+                                if (--*remaining == 0) {
+                                    out->poweredDown = true;
+                                    out->bootCycles =
+                                        node.os().now() - start;
+                                }
+                            });
+        }
+        if (*remaining == 0) { // single-core blade
+            out->poweredDown = true;
+            out->bootCycles = node.os().now() - start;
+        }
+    });
+}
+
+} // namespace firesim

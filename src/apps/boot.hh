@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Boot-and-power-down workload (paper Section V-A: "a benchmark that
+ * boots Linux to userspace, then immediately powers down the nodes in
+ * the cluster").
+ *
+ * The model: the bootloader streams a kernel image and root-filesystem
+ * metadata from the block device, the CPU decompresses and initializes
+ * (CPU bursts across the cores), then the node reports itself down.
+ * Exercises the block device, the memory system (functionally), and
+ * the scheduler — without touching the network, exactly like the
+ * paper's scaling benchmark (tokens still flow; they are empty).
+ */
+
+#ifndef FIRESIM_APPS_BOOT_HH
+#define FIRESIM_APPS_BOOT_HH
+
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+struct BootConfig
+{
+    /** Kernel image size in sectors (default 8 MiB). */
+    uint32_t kernelSectors = 16384;
+    /** Sectors of root-filesystem metadata read during init. */
+    uint32_t fsMetadataSectors = 2048;
+    /** Decompression / init CPU work per core (cycles). */
+    Cycles initCyclesPerCore = 2000000;
+    /** DMA staging address for image reads. */
+    uint64_t stagingAddr = 0x800000;
+};
+
+struct BootResult
+{
+    bool poweredDown = false;
+    Cycles bootCycles = 0;
+};
+
+/** Launch the boot sequence on @p node; completion lands in @p out. */
+void launchBootWorkload(NodeSystem &node, BootConfig cfg, BootResult *out);
+
+} // namespace firesim
+
+#endif // FIRESIM_APPS_BOOT_HH

@@ -1,0 +1,96 @@
+#include "apps/iperf.hh"
+
+#include <memory>
+
+namespace firesim
+{
+
+namespace
+{
+
+uint32_t
+readSeq(const std::vector<uint8_t> &data)
+{
+    if (data.size() < 4)
+        return 0;
+    return (uint32_t(data[0]) << 24) | (uint32_t(data[1]) << 16) |
+           (uint32_t(data[2]) << 8) | uint32_t(data[3]);
+}
+
+void
+writeSeq(std::vector<uint8_t> &data, uint32_t seq)
+{
+    data[0] = static_cast<uint8_t>(seq >> 24);
+    data[1] = static_cast<uint8_t>(seq >> 16);
+    data[2] = static_cast<uint8_t>(seq >> 8);
+    data[3] = static_cast<uint8_t>(seq);
+}
+
+} // namespace
+
+void
+launchIperfServer(NodeSystem &node, uint16_t port, uint32_t ack_every,
+                  IperfResult *out)
+{
+    node.os().spawn("iperf-s", -1, [&node, port, ack_every, out]() -> Task<> {
+        UdpSocket sock(node.net(), port);
+        uint32_t since_ack = 0;
+        while (true) {
+            Datagram d = co_await sock.recv();
+            if (!out->serverSawTraffic) {
+                out->serverSawTraffic = true;
+                out->firstByte = node.os().now();
+            }
+            out->bytesDelivered += d.data.size();
+            out->lastByte = node.os().now();
+            if (++since_ack >= ack_every) {
+                since_ack = 0;
+                std::vector<uint8_t> ack(4);
+                writeSeq(ack, readSeq(d.data));
+                co_await sock.sendTo(d.srcIp, d.srcPort, ack);
+            }
+        }
+    });
+}
+
+void
+launchIperfClient(NodeSystem &node, IperfConfig cfg)
+{
+    if (cfg.window == 0 || cfg.segmentBytes < 4)
+        fatal("iperf window/segment configuration invalid");
+
+    struct State
+    {
+        uint32_t next = 0;
+        uint32_t acked = 0;
+        WaitQueue ackWait;
+        std::unique_ptr<UdpSocket> sock;
+    };
+    auto st = std::make_shared<State>();
+    st->sock = std::make_unique<UdpSocket>(node.net(), 5300);
+
+    node.os().spawn("iperf-c-rx", -1, [&node, st]() -> Task<> {
+        while (true) {
+            Datagram d = co_await st->sock->recv();
+            uint32_t seq = readSeq(d.data);
+            if (seq > st->acked) {
+                st->acked = seq;
+                st->ackWait.notifyAll();
+            }
+        }
+    });
+
+    node.os().spawn("iperf-c-tx", -1, [&node, cfg, st]() -> Task<> {
+        Cycles deadline = node.os().now() + cfg.duration;
+        std::vector<uint8_t> payload(cfg.segmentBytes, 0xa5);
+        while (node.os().now() < deadline) {
+            while (st->next - st->acked >= cfg.window)
+                co_await node.os().waitOn(st->ackWait);
+            ++st->next;
+            writeSeq(payload, st->next);
+            co_await st->sock->sendTo(cfg.serverIp, cfg.port, payload);
+        }
+    });
+}
+
+} // namespace firesim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * iperf3-style bandwidth benchmark (paper Section IV-B).
+ *
+ * A client streams MTU-sized segments to a server over the simulated
+ * OS's sockets with an application-level sliding window and cumulative
+ * acknowledgements. Throughput is bound by per-packet kernel stack
+ * costs on the single-issue in-order cores — reproducing the paper's
+ * observation that Linux-stack TCP reaches only ~1.4 Gbit/s on a
+ * 200 Gbit/s link ("we suspect that the bulk of this mismatch is due to
+ * the relatively slow single-issue in-order Rocket processor running
+ * the network stack in software").
+ */
+
+#ifndef FIRESIM_APPS_IPERF_HH
+#define FIRESIM_APPS_IPERF_HH
+
+#include "base/stats.hh"
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+struct IperfConfig
+{
+    Ip serverIp = 0;
+    uint16_t port = 5201;
+    /** Application payload per segment (fits the 1500-byte MTU). */
+    uint32_t segmentBytes = 1400;
+    /** Sliding window in segments. */
+    uint32_t window = 16;
+    /** Acknowledge every ackEvery segments (cumulative). */
+    uint32_t ackEvery = 4;
+    /** Stop after this much target time (cycles). */
+    Cycles duration = 32000000; // 10 ms at 3.2 GHz
+};
+
+struct IperfResult
+{
+    uint64_t bytesDelivered = 0;
+    Cycles firstByte = 0;
+    Cycles lastByte = 0;
+    bool serverSawTraffic = false;
+
+    /** Goodput over the measured interval. */
+    double
+    gbps(double freq_ghz) const
+    {
+        if (lastByte <= firstByte)
+            return 0.0;
+        double bits = static_cast<double>(bytesDelivered) * 8.0;
+        double ns = static_cast<double>(lastByte - firstByte) / freq_ghz;
+        return bits / ns; // bits per ns == Gbit/s
+    }
+};
+
+/** Spawn the receiving side on @p node; results land in @p out. */
+void launchIperfServer(NodeSystem &node, uint16_t port, uint32_t ack_every,
+                       IperfResult *out);
+
+/** Spawn the sending side on @p node. */
+void launchIperfClient(NodeSystem &node, IperfConfig cfg);
+
+} // namespace firesim
+
+#endif // FIRESIM_APPS_IPERF_HH

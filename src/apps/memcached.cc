@@ -1,0 +1,70 @@
+#include "apps/memcached.hh"
+
+namespace firesim
+{
+
+MemcachedServer::MemcachedServer(NodeSystem &node_sys, MemcachedConfig config)
+    : node(node_sys), cfg(config)
+{
+    if (cfg.threads == 0)
+        fatal("memcached needs at least one thread");
+}
+
+void
+MemcachedServer::start()
+{
+    for (uint32_t i = 0; i < cfg.threads; ++i) {
+        int pin = cfg.pinned
+                      ? static_cast<int>(i % node.os().config().cores)
+                      : -1;
+        node.os().spawn(csprintf("memcached/%u", i), pin,
+                        [this, i]() -> Task<> { return workerLoop(i); });
+    }
+}
+
+Task<>
+MemcachedServer::workerLoop(uint32_t thread_idx)
+{
+    UdpSocket sock(node.net(),
+                   static_cast<uint16_t>(cfg.basePort + thread_idx));
+    Random &rng = node.os().random();
+    while (true) {
+        Datagram d = co_await sock.recv();
+        if (d.data.size() < 13)
+            continue; // malformed
+        uint8_t op = d.data[0];
+        uint32_t key = (uint32_t(d.data[9]) << 24) |
+                       (uint32_t(d.data[10]) << 16) |
+                       (uint32_t(d.data[11]) << 8) | uint32_t(d.data[12]);
+
+        Cycles service = cfg.serviceCycles;
+        if (cfg.serviceJitter)
+            service += rng.below(cfg.serviceJitter);
+        co_await node.os().cpu(service);
+
+        std::vector<uint8_t> reply;
+        reply.reserve(8 + cfg.valueBytes);
+        // Echo the request id for client-side latency matching.
+        reply.insert(reply.end(), d.data.begin() + 1, d.data.begin() + 9);
+        if (op == 1) {
+            // SET: store the remainder as the value; reply is id-only.
+            store[key].assign(d.data.begin() + 13, d.data.end());
+        } else {
+            // GET: return the stored value, or a fresh one of the
+            // configured size (mutilate pre-loads implicitly).
+            auto it = store.find(key);
+            if (it == store.end()) {
+                it = store.emplace(key,
+                                   std::vector<uint8_t>(cfg.valueBytes,
+                                                        0x76))
+                         .first;
+            }
+            reply.insert(reply.end(), it->second.begin(),
+                         it->second.end());
+        }
+        ++served;
+        co_await sock.sendTo(d.srcIp, d.srcPort, reply);
+    }
+}
+
+} // namespace firesim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memcached server model (paper Sections IV-E and V-C).
+ *
+ * Mirrors memcached's UDP mode threading structure, which is what the
+ * paper's thread-imbalance experiment depends on: each server thread
+ * owns its own socket (port base+i) and clients are statically
+ * assigned to threads, so a delayed thread delays exactly its own
+ * connections — idle sibling threads cannot steal that work. Running
+ * more threads than cores therefore inflates the tail while leaving
+ * the median mostly untouched (Leverich & Kozyrakis, reproduced in
+ * Fig. 7).
+ *
+ * The key-value store itself is functional (std::unordered_map); per
+ * request the thread is charged a calibrated hash+copy service cost.
+ */
+
+#ifndef FIRESIM_APPS_MEMCACHED_HH
+#define FIRESIM_APPS_MEMCACHED_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+struct MemcachedConfig
+{
+    uint32_t threads = 4;
+    /** Pin thread i to core i % cores (the "4 threads pinned" case). */
+    bool pinned = false;
+    uint16_t basePort = 11211;
+    /** Base service cost per request (~2.5 us: hash, lookup, copy). */
+    Cycles serviceCycles = 8000;
+    /** Uniform extra service jitter in [0, serviceJitter). */
+    Cycles serviceJitter = 3200;
+    /** Value size for GET responses. */
+    uint32_t valueBytes = 100;
+};
+
+/** Request wire format: [0]=op (0 GET / 1 SET), [1..8]=request id,
+ *  [9..12]=key. Responses echo the id then carry the value. */
+struct MemcachedServer
+{
+  public:
+    MemcachedServer(NodeSystem &node, MemcachedConfig cfg);
+
+    /** Spawn the server threads. */
+    void start();
+
+    const MemcachedConfig &config() const { return cfg; }
+    uint64_t requestsServed() const { return served; }
+
+  private:
+    Task<> workerLoop(uint32_t thread_idx);
+
+    NodeSystem &node;
+    MemcachedConfig cfg;
+    std::unordered_map<uint32_t, std::vector<uint8_t>> store;
+    uint64_t served = 0;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_APPS_MEMCACHED_HH

@@ -1,0 +1,117 @@
+#include "apps/mutilate.hh"
+
+namespace firesim
+{
+
+MutilateClient::MutilateClient(NodeSystem &node_sys, MutilateConfig config)
+    : node(node_sys), cfg(config), rng(config.seed)
+{
+    if (cfg.connections == 0)
+        fatal("mutilate needs at least one connection");
+    if (cfg.qps <= 0.0)
+        fatal("mutilate qps must be positive");
+}
+
+void
+MutilateClient::start()
+{
+    for (uint32_t i = 0; i < cfg.connections; ++i) {
+        auto conn = std::make_unique<Connection>();
+        conn->sock = std::make_unique<UdpSocket>(
+            node.net(), static_cast<uint16_t>(cfg.localBasePort + i));
+        conns.push_back(std::move(conn));
+    }
+    for (uint32_t i = 0; i < cfg.connections; ++i) {
+        node.os().spawn(csprintf("mutilate-tx/%u", i), -1,
+                        [this, i]() -> Task<> { return connTxLoop(i); });
+        node.os().spawn(csprintf("mutilate-rx/%u", i), -1,
+                        [this, i]() -> Task<> { return connRxLoop(i); });
+    }
+    node.os().spawn("mutilate-dispatch", -1,
+                    [this]() -> Task<> { return dispatcherLoop(); });
+}
+
+Task<>
+MutilateClient::dispatcherLoop()
+{
+    double freq = node.blade().config().freqGhz;
+    double mean_gap = freq * 1e9 / cfg.qps; // cycles between arrivals
+    uint32_t rr = 0;
+
+    while (true) {
+        Cycles gap = static_cast<Cycles>(rng.exponential(mean_gap)) + 1;
+        co_await node.os().sleepFor(gap);
+        Cycles now = node.os().now();
+        if (cfg.measureUntil && now >= cfg.measureUntil)
+            co_return;
+
+        uint64_t id = nextId++;
+        bool is_get = rng.uniform() < cfg.getFraction;
+        uint32_t key = static_cast<uint32_t>(rng.below(cfg.keys));
+
+        std::vector<uint8_t> req;
+        req.reserve(13 + (is_get ? 0 : cfg.setValueBytes));
+        req.push_back(is_get ? 0 : 1);
+        for (int shift = 56; shift >= 0; shift -= 8)
+            req.push_back(static_cast<uint8_t>(id >> shift));
+        for (int shift = 24; shift >= 0; shift -= 8)
+            req.push_back(static_cast<uint8_t>(key >> shift));
+        if (!is_get)
+            req.insert(req.end(), cfg.setValueBytes, 0x33);
+
+        inflight[id] = now;
+        ++stats_.issued;
+        Connection &conn = *conns[rr];
+        rr = (rr + 1) % cfg.connections;
+        conn.txq.push_back(std::move(req));
+        conn.txWait.notifyOne();
+    }
+}
+
+Task<>
+MutilateClient::connTxLoop(uint32_t idx)
+{
+    Connection &conn = *conns[idx];
+    // Static connection-to-thread assignment, as mutilate does.
+    uint16_t server_port = static_cast<uint16_t>(
+        cfg.serverBasePort + idx % cfg.serverThreads);
+    while (true) {
+        while (conn.txq.empty())
+            co_await node.os().waitOn(conn.txWait);
+        std::vector<uint8_t> req = std::move(conn.txq.front());
+        conn.txq.erase(conn.txq.begin());
+        co_await conn.sock->sendTo(cfg.serverIp, server_port,
+                                   std::move(req));
+    }
+}
+
+Task<>
+MutilateClient::connRxLoop(uint32_t idx)
+{
+    Connection &conn = *conns[idx];
+    while (true) {
+        Datagram d = co_await conn.sock->recv();
+        if (d.data.size() < 8)
+            continue;
+        uint64_t id = 0;
+        for (int b = 0; b < 8; ++b)
+            id = (id << 8) | d.data[b];
+        auto it = inflight.find(id);
+        if (it == inflight.end())
+            continue;
+        Cycles sent = it->second;
+        inflight.erase(it);
+        Cycles now = node.os().now();
+        ++stats_.completed;
+        if (now >= cfg.measureFrom &&
+            (!cfg.measureUntil || now < cfg.measureUntil)) {
+            stats_.latencyCycles.sample(static_cast<double>(now - sent));
+            if (stats_.measured == 0)
+                stats_.firstMeasured = now;
+            stats_.lastMeasured = now;
+            ++stats_.measured;
+        }
+    }
+}
+
+} // namespace firesim

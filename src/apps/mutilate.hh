@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Mutilate-style distributed memcached load generator (paper Sections
+ * IV-E and V-C; Leverich & Kozyrakis's tool cross-compiled for RISC-V
+ * in the original).
+ *
+ * Open-loop load generation: request departure times are drawn from an
+ * exponential distribution at the configured rate, independent of
+ * outstanding responses — the methodology that exposes queueing tails.
+ * Each generator node runs several "connections"; a connection is
+ * statically assigned to one memcached server thread (port base + conn
+ * % serverThreads), matching how mutilate spreads connections across
+ * memcached's worker threads.
+ */
+
+#ifndef FIRESIM_APPS_MUTILATE_HH
+#define FIRESIM_APPS_MUTILATE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+struct MutilateConfig
+{
+    Ip serverIp = 0;
+    uint16_t serverBasePort = 11211;
+    uint32_t serverThreads = 4;
+    /** This generator's target queries per second (target-time). */
+    double qps = 10000.0;
+    /** Concurrent connections on this generator. */
+    uint32_t connections = 4;
+    /** Key space size. */
+    uint32_t keys = 10000;
+    /** GET fraction (the rest are SETs). */
+    double getFraction = 0.9;
+    /** SET value payload bytes. */
+    uint32_t setValueBytes = 100;
+    /** Samples recorded only after this cycle (warmup). */
+    Cycles measureFrom = 0;
+    /** Stop issuing at this cycle (0 = never). */
+    Cycles measureUntil = 0;
+    uint64_t seed = 7;
+    uint16_t localBasePort = 20000;
+};
+
+struct MutilateStats
+{
+    Histogram latencyCycles;
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    /** Completions inside the measurement window. */
+    uint64_t measured = 0;
+    Cycles firstMeasured = 0;
+    Cycles lastMeasured = 0;
+
+    /** Achieved queries/second over the measurement window. */
+    double
+    achievedQps(double freq_ghz) const
+    {
+        if (lastMeasured <= firstMeasured || measured < 2)
+            return 0.0;
+        double seconds = static_cast<double>(lastMeasured - firstMeasured) /
+                         (freq_ghz * 1e9);
+        return static_cast<double>(measured) / seconds;
+    }
+};
+
+class MutilateClient
+{
+  public:
+    MutilateClient(NodeSystem &node, MutilateConfig cfg);
+
+    /** Spawn the dispatcher and connection threads. */
+    void start();
+
+    const MutilateStats &stats() const { return stats_; }
+
+  private:
+    struct Connection
+    {
+        std::unique_ptr<UdpSocket> sock;
+        std::vector<std::vector<uint8_t>> txq;
+        WaitQueue txWait;
+    };
+
+    Task<> dispatcherLoop();
+    Task<> connTxLoop(uint32_t idx);
+    Task<> connRxLoop(uint32_t idx);
+
+    NodeSystem &node;
+    MutilateConfig cfg;
+    MutilateStats stats_;
+    Random rng;
+    std::vector<std::unique_ptr<Connection>> conns;
+    /** Outstanding request send-times keyed by request id. */
+    std::unordered_map<uint64_t, Cycles> inflight;
+    uint64_t nextId = 1;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_APPS_MUTILATE_HH

@@ -1,0 +1,23 @@
+#include "apps/ping.hh"
+
+namespace firesim
+{
+
+void
+launchPing(NodeSystem &node, PingConfig cfg, PingResult *out)
+{
+    if (cfg.count == 0)
+        fatal("ping count must be nonzero");
+    node.os().spawn("ping", -1, [&node, cfg, out]() -> Task<> {
+        for (uint32_t i = 0; i < cfg.count; ++i) {
+            Cycles rtt = co_await node.net().ping(cfg.dst);
+            co_await node.os().cpu(cfg.userCycles);
+            out->rttCycles.sample(static_cast<double>(rtt));
+            if (cfg.interval)
+                co_await node.os().sleepFor(cfg.interval);
+        }
+        out->finished = true;
+    });
+}
+
+} // namespace firesim

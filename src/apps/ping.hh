@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The ping workload (paper Section IV-A / Figure 5).
+ *
+ * Boots a pinger thread on one node that issues ICMP echo requests to a
+ * destination and records RTT samples. As in the paper's methodology,
+ * the first ping of a run can be discarded by the caller (their first
+ * ping carries an ARP resolution; ours is ARP-free, but we keep the
+ * same reporting convention).
+ */
+
+#ifndef FIRESIM_APPS_PING_HH
+#define FIRESIM_APPS_PING_HH
+
+#include "base/stats.hh"
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+struct PingConfig
+{
+    Ip dst = 0;
+    uint32_t count = 100;
+    /** Gap between pings in cycles (ping -i; default ~10 us). */
+    Cycles interval = 32000;
+    /** Userspace cost per iteration (formatting, loop). */
+    Cycles userCycles = 3200;
+};
+
+/** RTT samples in cycles; convert with TargetClock for us. */
+struct PingResult
+{
+    Histogram rttCycles;
+    bool finished = false;
+};
+
+/** Launch the pinger thread on @p node; results land in @p out. */
+void launchPing(NodeSystem &node, PingConfig cfg, PingResult *out);
+
+} // namespace firesim
+
+#endif // FIRESIM_APPS_PING_HH

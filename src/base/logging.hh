@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in this
+ *            code base). Aborts so a debugger/core dump can inspect state.
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, impossible topology, ...). Exits cleanly.
+ * warn()   — something is modeled approximately or suspiciously; the run
+ *            continues.
+ * inform() — status messages with no negative connotation.
+ */
+
+#ifndef FIRESIM_BASE_LOGGING_HH
+#define FIRESIM_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace firesim
+{
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel : uint8_t { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Global log-level accessor (default: Warn). */
+LogLevel logLevel();
+
+/** Set the global log level; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Abort with a formatted message; for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; for user configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning if the log level admits it. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message if the log level admits it. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant with a formatted explanation.
+ * Active in all build types (unlike assert()).
+ */
+#define FS_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::firesim::panic("assertion '%s' failed at %s:%d: %s", #cond, \
+                             __FILE__, __LINE__,                          \
+                             ::firesim::csprintf(__VA_ARGS__).c_str());   \
+        }                                                                 \
+    } while (0)
+
+} // namespace firesim
+
+#endif // FIRESIM_BASE_LOGGING_HH

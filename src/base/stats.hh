@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight statistics: counters, running scalars, and histograms with
+ * exact percentiles. Benchmarks and validation experiments report through
+ * these so every table/figure in EXPERIMENTS.md is regenerated from the
+ * same accessors the tests assert on.
+ */
+
+#ifndef FIRESIM_BASE_STATS_HH
+#define FIRESIM_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++count; }
+    void operator+=(uint64_t n) { count += n; }
+    uint64_t value() const { return count; }
+    void reset() { count = 0; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/**
+ * Collects samples and answers mean/min/max/percentile queries exactly.
+ * Percentile queries sort a scratch copy lazily; sampling is O(1).
+ */
+class Histogram
+{
+  public:
+    void
+    sample(double value)
+    {
+        values.push_back(value);
+        sorted = false;
+    }
+
+    size_t count() const { return values.size(); }
+
+    double
+    mean() const
+    {
+        if (values.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (double v : values)
+            sum += v;
+        return sum / static_cast<double>(values.size());
+    }
+
+    double
+    min() const
+    {
+        double m = std::numeric_limits<double>::infinity();
+        for (double v : values)
+            m = std::min(m, v);
+        return values.empty() ? 0.0 : m;
+    }
+
+    double
+    max() const
+    {
+        double m = -std::numeric_limits<double>::infinity();
+        for (double v : values)
+            m = std::max(m, v);
+        return values.empty() ? 0.0 : m;
+    }
+
+    /**
+     * Exact percentile via nearest-rank on the sorted samples.
+     * @param p percentile in [0, 100].
+     */
+    double
+    percentile(double p) const
+    {
+        if (values.empty())
+            return 0.0;
+        if (p < 0.0 || p > 100.0)
+            panic("percentile %f out of range", p);
+        ensureSorted();
+        double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+        size_t lo = static_cast<size_t>(rank);
+        size_t hi = std::min(lo + 1, values.size() - 1);
+        double frac = rank - static_cast<double>(lo);
+        return scratch[lo] * (1.0 - frac) + scratch[hi] * frac;
+    }
+
+    void
+    reset()
+    {
+        values.clear();
+        scratch.clear();
+        sorted = false;
+    }
+
+    const std::vector<double> &samples() const { return values; }
+
+  private:
+    void
+    ensureSorted() const
+    {
+        if (!sorted) {
+            scratch = values;
+            std::sort(scratch.begin(), scratch.end());
+            sorted = true;
+        }
+    }
+
+    std::vector<double> values;
+    mutable std::vector<double> scratch;
+    mutable bool sorted = false;
+};
+
+/** A running average that does not retain samples. */
+class RunningStat
+{
+  public:
+    void
+    sample(double value)
+    {
+        sum += value;
+        ++n;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        n = 0;
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum = 0.0;
+    uint64_t n = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_BASE_STATS_HH

@@ -1,0 +1,67 @@
+#include "base/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+Table::Table(std::vector<std::string> headers)
+    : heads(std::move(headers))
+{
+    if (heads.empty())
+        fatal("a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != heads.size()) {
+        fatal("table row has %zu cells, expected %zu", cells.size(),
+              heads.size());
+    }
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(heads.size());
+    for (size_t c = 0; c < heads.size(); ++c)
+        widths[c] = heads[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c];
+            if (c + 1 < cells.size()) {
+                out << std::string(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    emit_row(heads);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return out.str();
+}
+
+} // namespace firesim

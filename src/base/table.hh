@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print rows in the
+ * same layout as the paper's tables and figure series.
+ */
+
+#ifndef FIRESIM_BASE_TABLE_HH
+#define FIRESIM_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace firesim
+{
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Render the whole table, header + separator + rows. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> heads;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_BASE_TABLE_HH

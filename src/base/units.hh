@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Target-time and unit-conversion helpers.
+ *
+ * Throughout the simulator, target time is measured in cycles of the
+ * server-blade clock. Following the paper (Table I), the reference design
+ * runs at 3.2 GHz: "1 cycle is equivalent to 1/f seconds" for every model
+ * that needs a notion of target time, including the network.
+ */
+
+#ifndef FIRESIM_BASE_UNITS_HH
+#define FIRESIM_BASE_UNITS_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+/** Target-clock cycle count / timestamp. */
+using Cycles = uint64_t;
+
+/** Sentinel "no timestamp". */
+constexpr Cycles kNoCycle = ~0ULL;
+
+/**
+ * A target clock domain: converts between wall-clock target time and
+ * cycles. All simulated components in one FireSim target share a single
+ * frequency (the paper models the network in CPU-clock cycles too).
+ */
+class TargetClock
+{
+  public:
+    /** @param freq_ghz Target core frequency in GHz (paper: 3.2). */
+    explicit TargetClock(double freq_ghz = 3.2)
+        : freqGhz(freq_ghz)
+    {
+        if (freq_ghz <= 0.0)
+            fatal("target frequency must be positive, got %f", freq_ghz);
+    }
+
+    double frequencyGhz() const { return freqGhz; }
+
+    /** Cycles elapsed in @p ns nanoseconds (rounded to nearest). */
+    Cycles
+    cyclesFromNs(double ns) const
+    {
+        return static_cast<Cycles>(ns * freqGhz + 0.5);
+    }
+
+    /** Cycles elapsed in @p us microseconds. */
+    Cycles cyclesFromUs(double us) const { return cyclesFromNs(us * 1e3); }
+
+    /** Nanoseconds represented by @p cycles. */
+    double nsFromCycles(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / freqGhz;
+    }
+
+    /** Microseconds represented by @p cycles. */
+    double usFromCycles(Cycles cycles) const
+    {
+        return nsFromCycles(cycles) / 1e3;
+    }
+
+    /**
+     * Bits transferred per cycle on a link of @p gbps Gbit/s.
+     * At 3.2 GHz, a 200 Gbit/s link moves 62.5 -> 64 bits per cycle;
+     * the paper fixes the token payload at 64 bits for this reason.
+     */
+    double
+    bitsPerCycle(double gbps) const
+    {
+        return gbps / freqGhz;
+    }
+
+  private:
+    double freqGhz;
+};
+
+/** Bytes in a mebibyte / kibibyte, for readable cache configs. */
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+
+} // namespace firesim
+
+#endif // FIRESIM_BASE_UNITS_HH

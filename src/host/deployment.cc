@@ -1,0 +1,91 @@
+#include "host/deployment.hh"
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+/** Leaf switches (no child switches) are ToRs, co-hosted on F1. */
+uint32_t
+countTors(const SwitchSpec &spec)
+{
+    if (spec.childSwitches().empty())
+        return 1;
+    uint32_t n = spec.childServers().empty() ? 0 : 1;
+    // A switch with both server and switch children acts as both; the
+    // paper's topologies never mix, but count it as a ToR host anyway.
+    for (const auto &child : spec.childSwitches())
+        n += countTors(*child);
+    return n;
+}
+
+} // namespace
+
+DeploymentPlan
+planDeployment(const SwitchSpec &topo, bool supernode,
+               uint32_t fame5_threads)
+{
+    if (fame5_threads == 0)
+        fatal("FAME-5 thread count must be nonzero");
+    DeploymentPlan plan;
+    plan.servers = topo.serverCount();
+    plan.switches = topo.switchCount();
+    plan.levels = topo.levels();
+    plan.supernode = supernode;
+    plan.fame5Threads = fame5_threads;
+    plan.nodesPerFpga = (supernode ? 4 : 1) * fame5_threads;
+    if (plan.servers == 0)
+        fatal("deployment of a topology with no servers");
+
+    // Resource-weighted blade count (a BOOM blade weighs like a quad
+    // Rocket; see ServerSpec::resourceUnits).
+    plan.fpgas = (plan.servers + plan.nodesPerFpga - 1) / plan.nodesPerFpga;
+    if (plan.fpgas <= 1) {
+        plan.f1_2xlarge = 1;
+    } else {
+        plan.f1_16xlarge = (plan.fpgas + 7) / 8;
+    }
+
+    plan.torSwitches = countTors(topo);
+    uint32_t non_leaf = plan.switches - plan.torSwitches;
+    plan.m4_16xlarge = non_leaf; // one host per agg/root switch model
+    return plan;
+}
+
+double
+DeploymentPlan::onDemandPerHour(const Ec2Pricing &p) const
+{
+    return f1_16xlarge * p.f1_16xlarge_on_demand +
+           f1_2xlarge * p.f1_2xlarge_on_demand +
+           m4_16xlarge * p.m4_16xlarge_on_demand;
+}
+
+double
+DeploymentPlan::spotPerHour(const Ec2Pricing &p) const
+{
+    return f1_16xlarge * p.f1_16xlarge_spot +
+           f1_2xlarge * p.f1_2xlarge_spot +
+           m4_16xlarge * p.m4_16xlarge_spot;
+}
+
+double
+DeploymentPlan::fpgaCapex(const Ec2Pricing &p) const
+{
+    return static_cast<double>(fpgas) * p.fpga_retail;
+}
+
+std::string
+DeploymentPlan::summary() const
+{
+    return csprintf("%u servers (%s) -> %u FPGAs, %u f1.16xlarge, "
+                    "%u f1.2xlarge, %u m4.16xlarge; %u ToR + %u "
+                    "agg/root switches",
+                    servers, supernode ? "supernode" : "standard", fpgas,
+                    f1_16xlarge, f1_2xlarge, m4_16xlarge, torSwitches,
+                    switches - torSwitches);
+}
+
+} // namespace firesim

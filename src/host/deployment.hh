@@ -1,0 +1,93 @@
+/**
+ * @file
+ * EC2 deployment mapping and cost model (paper Sections II, III-B3,
+ * V-C).
+ *
+ * FireSim maps simulations onto Amazon EC2: each simulated server
+ * occupies one FPGA (or a quarter of one in "supernode" mode, Section
+ * III-A5), f1.16xlarge instances carry 8 FPGAs plus the ToR switch
+ * models for the blades they host, and aggregation/root switch models
+ * run on m4.16xlarge instances (one per switch). We reproduce that
+ * mapping arithmetic and the published prices so the Section V-C cost
+ * figures (~$100/hour spot, ~$440/hour on-demand, $12.8M of FPGAs for
+ * the 1024-node simulation) are regenerated rather than quoted.
+ */
+
+#ifndef FIRESIM_HOST_DEPLOYMENT_HH
+#define FIRESIM_HOST_DEPLOYMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "manager/topology.hh"
+
+namespace firesim
+{
+
+/** Published EC2 prices (2018, us-east-1) and FPGA list price. */
+struct Ec2Pricing
+{
+    double f1_16xlarge_on_demand = 13.20; //!< $/hour
+    double f1_16xlarge_spot = 2.90;       //!< longest stable spot price
+    double f1_2xlarge_on_demand = 1.65;
+    double f1_2xlarge_spot = 0.55;
+    double m4_16xlarge_on_demand = 3.20;
+    double m4_16xlarge_spot = 1.00;
+    double fpga_retail = 50000.0; //!< VU9P public list price, ~$50K
+};
+
+/** FPGA resource utilization (paper Section III-A5). */
+struct FpgaUtilization
+{
+    /** Single simulated node: total design LUT utilization. */
+    static constexpr double kSingleNodeLuts = 0.326;
+    /** ... of which the custom server-blade RTL alone. */
+    static constexpr double kSingleNodeBladeLuts = 0.144;
+    /** Supernode: four blades' share of LUTs. */
+    static constexpr double kSupernodeBladeLuts = 0.577;
+    /** Supernode: total design LUT utilization. */
+    static constexpr double kSupernodeTotalLuts = 0.76;
+    /** DRAM channels used per simulated node (of 4 on the FPGA). */
+    static constexpr uint32_t kChannelsPerNode = 1;
+};
+
+/** The instances and FPGAs a simulation occupies. */
+struct DeploymentPlan
+{
+    uint32_t servers = 0;
+    uint32_t switches = 0;
+    uint32_t levels = 0;
+    bool supernode = false;
+    /** FAME-5 host multithreading: simulated cores per physical
+     *  pipeline (Section VIII; 1 = plain FAME-1). */
+    uint32_t fame5Threads = 1;
+    uint32_t nodesPerFpga = 1;
+    uint32_t fpgas = 0;
+    uint32_t f1_16xlarge = 0;
+    uint32_t f1_2xlarge = 0;
+    /** Aggregation + root switch hosts. */
+    uint32_t m4_16xlarge = 0;
+    /** ToR switches co-hosted on F1 instances. */
+    uint32_t torSwitches = 0;
+
+    double onDemandPerHour(const Ec2Pricing &p = Ec2Pricing{}) const;
+    double spotPerHour(const Ec2Pricing &p = Ec2Pricing{}) const;
+    double fpgaCapex(const Ec2Pricing &p = Ec2Pricing{}) const;
+
+    std::string summary() const;
+};
+
+/**
+ * Map a topology onto EC2 following the paper's scheme.
+ * @param supernode pack four simulated nodes per FPGA
+ * @param fame5_threads FAME-5 host multithreading factor: map this
+ *        many simulated nodes onto each physical pipeline, trading
+ *        simulation rate (the host clock is time-division multiplexed)
+ *        and per-node FPGA DRAM for density (Section VIII)
+ */
+DeploymentPlan planDeployment(const SwitchSpec &topo, bool supernode,
+                              uint32_t fame5_threads = 1);
+
+} // namespace firesim
+
+#endif // FIRESIM_HOST_DEPLOYMENT_HH

@@ -1,0 +1,112 @@
+#include "host/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firesim
+{
+
+namespace
+{
+
+struct Walker
+{
+    const HostPerfParams &p;
+    double quantumUs;   //!< batch length in target-us... see below
+    Cycles quantum;     //!< batch length in target cycles
+    uint32_t nodesPerHost; //!< simulated servers per F1 host
+    double bladeUs;     //!< per-round cost of an FPGA + its PCIe hop
+
+    double worstEdgeUs = 0.0;
+    double worstComputeUs = 0.0;
+    double worstTransportUs = 0.0;
+
+    double
+    switchCostUs(const SwitchSpec &spec, bool is_root) const
+    {
+        uint32_t ports = spec.downlinkCount() + (is_root ? 0 : 1);
+        return static_cast<double>(ports) *
+               static_cast<double>(quantum) * p.switchTokenNs / 1000.0;
+    }
+
+    void
+    consider(double compute_us, double transport_us)
+    {
+        double total = compute_us + transport_us;
+        if (total > worstEdgeUs) {
+            worstEdgeUs = total;
+            worstComputeUs = compute_us;
+            worstTransportUs = transport_us;
+        }
+    }
+
+    void
+    walk(const SwitchSpec &spec, bool is_root)
+    {
+        double my_cost = switchCostUs(spec, is_root);
+
+        // Server downlinks: shared-memory transport when the ToR can be
+        // co-hosted with every blade it serves (they fit on one F1
+        // instance), TCP otherwise — the co-hosting win the supernode
+        // configuration exists to preserve (Section III-A5).
+        if (!spec.childServers().empty()) {
+            bool cohosted = spec.childServers().size() <= nodesPerHost;
+            double transport =
+                cohosted ? p.shmemBatchUs : p.tcpBatchUs;
+            consider(std::max(my_cost, bladeUs), transport);
+        }
+
+        // Switch downlinks: agg/root switches live on m4 instances, so
+        // these links always cross hosts over TCP.
+        for (const auto &child : spec.childSwitches()) {
+            double child_cost = switchCostUs(*child, false);
+            consider(std::max(my_cost, child_cost), p.tcpBatchUs);
+            walk(*child, false);
+        }
+    }
+};
+
+} // namespace
+
+SimRateEstimate
+estimateSimRate(const SwitchSpec &topo, const DeploymentPlan &plan,
+                Cycles link_latency_cycles, double target_freq_ghz,
+                const HostPerfParams &params)
+{
+    if (link_latency_cycles == 0)
+        fatal("link latency must be nonzero");
+
+    Walker w{params,
+             0.0,
+             link_latency_cycles,
+             /*nodesPerHost=*/8u * plan.nodesPerFpga,
+             // Supernode multiplexes four nodes' token streams over a
+             // single PCIe link (Section III-A5), so the per-batch
+             // PCIe cost scales with nodes per FPGA.
+             // FAME-5 time-division multiplexes the pipeline: the
+             // effective host clock per simulated node divides by the
+             // thread count (Section VIII: "at the cost of simulation
+             // performance").
+             /*bladeUs=*/
+             static_cast<double>(link_latency_cycles) /
+                     (params.fpgaClockMhz /
+                      std::max(1u, plan.fame5Threads)) +
+                 params.pcieBatchUs * plan.nodesPerFpga};
+    w.walk(topo, true);
+
+    uint32_t hosts = plan.f1_16xlarge + plan.f1_2xlarge + plan.m4_16xlarge;
+    double jitter =
+        1.0 + params.syncJitter * std::log2(std::max(1u, hosts));
+
+    SimRateEstimate est;
+    est.roundUs = w.worstEdgeUs * jitter;
+    est.bottleneckComputeUs = w.worstComputeUs;
+    est.bottleneckTransportUs = w.worstTransportUs;
+    // Rate: quantum target-cycles per round of wall-clock.
+    est.targetMhz =
+        static_cast<double>(link_latency_cycles) / est.roundUs;
+    (void)target_freq_ghz;
+    return est;
+}
+
+} // namespace firesim

@@ -1,0 +1,170 @@
+#include "manager/cluster.hh"
+
+#include "base/table.hh"
+
+namespace firesim
+{
+
+NodeSystem::NodeSystem(BladeConfig blade_cfg, OsConfig os_cfg,
+                       NetConfig net_cfg, Ip ip)
+    : blade_(std::move(blade_cfg)),
+      os_(os_cfg, blade_.eventQueue()),
+      net_(os_, blade_.nic(), blade_.memory(), net_cfg)
+{
+    net_.setIp(ip);
+}
+
+MacAddr
+Cluster::macFor(size_t i)
+{
+    // Locally administered unicast OUI 02:00:00, then the server index.
+    return MacAddr(0x020000000000ULL | (static_cast<uint64_t>(i) + 1));
+}
+
+Ip
+Cluster::ipFor(size_t i)
+{
+    // 10.x.y.z with z starting at .1 (the manager's address plan).
+    return (10u << 24) | (static_cast<Ip>(i) + 1);
+}
+
+Cluster::Cluster(SwitchSpec root, ClusterConfig config)
+    : topo(std::move(root)), cfg(config)
+{
+    if (topo.downlinkCount() == 0)
+        fatal("cluster topology has an empty root switch");
+
+    if (cfg.functionalWindow)
+        fabric_.setFunctionalMode(cfg.functionalWindow);
+
+    buildSubtree(topo, 0);
+
+    // Populate every switch's static MAC table: for every server MAC,
+    // the port that leads toward it (a downlink when the server is in
+    // that downlink's subtree, else the uplink).
+    for (size_t s = 0; s < switches.size(); ++s) {
+        const SwitchSpec *spec = switchSpecs[s];
+        uint32_t downlinks = spec->downlinkCount();
+        bool has_uplink = (s != 0);
+        std::vector<int> port_of(nodes.size(), -1);
+        for (uint32_t p = 0; p < downlinks; ++p)
+            for (size_t server : switchPortServers[s][p])
+                port_of[server] = static_cast<int>(p);
+        for (size_t j = 0; j < nodes.size(); ++j) {
+            if (port_of[j] >= 0) {
+                switches[s]->addMacEntry(macFor(j),
+                                         static_cast<uint32_t>(port_of[j]));
+            } else if (has_uplink) {
+                switches[s]->addMacEntry(macFor(j), downlinks);
+            } else {
+                panic("server %zu unreachable from the root switch", j);
+            }
+        }
+    }
+
+    // Pre-populate every node's ARP table (static addressing, like the
+    // static MAC tables: datacenter topologies are relatively fixed).
+    for (size_t i = 0; i < nodes.size(); ++i)
+        for (size_t j = 0; j < nodes.size(); ++j)
+            if (i != j)
+                nodes[i]->net().addArp(ipFor(j), macFor(j));
+
+    fabric_.finalize();
+
+    for (auto &node : nodes)
+        node->start();
+}
+
+std::string
+Cluster::statsReport()
+{
+    std::string out;
+    Table sw({"Switch", "Ports", "Pkts in", "Pkts out", "Dropped",
+              "Bytes out"});
+    for (auto &s : switches) {
+        const SwitchStats &st = s->stats();
+        sw.addRow({s->name(), Table::fmt(s->config().ports, 0),
+                   Table::fmt(st.packetsIn.value(), 0),
+                   Table::fmt(st.packetsOut.value(), 0),
+                   Table::fmt(st.packetsDropped.value(), 0),
+                   Table::fmt(st.bytesOut.value(), 0)});
+    }
+    out += sw.render();
+    out += "\n";
+
+    Table nd({"Node", "IP", "Frames tx", "Frames rx", "RX drops",
+              "CPU busy %"});
+    double window = static_cast<double>(std::max<Cycles>(1, now()));
+    for (auto &node : nodes) {
+        const NicStats &nic = node->blade().nic().stats();
+        double busy =
+            100.0 * static_cast<double>(node->os().busyCycles()) /
+            (window * node->os().config().cores);
+        nd.addRow({node->name(), ipStr(node->ip()),
+                   Table::fmt(nic.framesSent.value(), 0),
+                   Table::fmt(nic.framesReceived.value(), 0),
+                   Table::fmt(nic.framesDroppedRx.value(), 0),
+                   Table::fmt(busy, 1)});
+    }
+    out += nd.render();
+    return out;
+}
+
+size_t
+Cluster::buildSubtree(const SwitchSpec &spec, uint32_t depth)
+{
+    size_t my_idx = switches.size();
+
+    SwitchConfig scfg;
+    scfg.name = csprintf("switch%zu", my_idx);
+    scfg.ports = spec.downlinkCount() + (depth > 0 ? 1 : 0);
+    scfg.minLatency = cfg.switchLatency;
+    scfg.dropBound = cfg.switchDropBound;
+    switches.push_back(std::make_unique<Switch>(scfg));
+    switchSpecs.push_back(&spec);
+    switchPortServers.emplace_back(spec.downlinkCount());
+    fabric_.addEndpoint(switches[my_idx].get());
+
+    uint32_t port = 0;
+    for (const auto &child : spec.childSwitches()) {
+        size_t child_idx = buildSubtree(*child, depth + 1);
+        uint32_t child_uplink = child->downlinkCount();
+        fabric_.connect(switches[my_idx].get(), port,
+                        switches[child_idx].get(), child_uplink,
+                        cfg.linkLatency);
+        // Everything under the child subtree is reachable via this port.
+        std::vector<size_t> under;
+        for (const auto &per_port : switchPortServers[child_idx])
+            under.insert(under.end(), per_port.begin(), per_port.end());
+        switchPortServers[my_idx][port] = std::move(under);
+        ++port;
+    }
+
+    for (const ServerSpec &server : spec.childServers()) {
+        size_t node_idx = nodes.size();
+
+        BladeConfig bc;
+        bc.name = csprintf("node%zu", node_idx);
+        bc.freqGhz = cfg.freqGhz;
+        bc.cores = server.cores;
+        bc.memBytes = server.memBytes;
+        bc.nic = cfg.nic;
+        bc.mac = macFor(node_idx);
+
+        OsConfig oc = cfg.os;
+        oc.cores = server.cores;
+        oc.seed = cfg.seed + node_idx;
+
+        nodes.push_back(std::make_unique<NodeSystem>(bc, oc, cfg.net,
+                                                     ipFor(node_idx)));
+        fabric_.addEndpoint(&nodes[node_idx]->blade());
+        fabric_.connect(switches[my_idx].get(), port,
+                        &nodes[node_idx]->blade(), 0, cfg.linkLatency);
+        switchPortServers[my_idx][port] = {node_idx};
+        ++port;
+    }
+
+    return my_idx;
+}
+
+} // namespace firesim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The simulation manager's build-and-deploy step (Section III-B3).
+ *
+ * Given a SwitchSpec topology tree and a ClusterConfig, the Cluster:
+ *  - instantiates one Switch model per SwitchSpec and one NodeSystem
+ *    (server blade + simulated OS + network stack) per ServerSpec,
+ *  - automatically assigns MAC and IP addresses to every server,
+ *  - populates the static MAC switching table of every switch (each
+ *    switch knows, for every server MAC, which port leads toward it),
+ *  - pre-populates every node's ARP table,
+ *  - wires everything into a TokenFabric with the configured link
+ *    latency, and boots the network stacks.
+ *
+ * Port convention on an N-downlink switch: ports 0..N-1 are downlinks
+ * in child order (switches first, then servers); the uplink, when the
+ * switch is not the root, is port N.
+ */
+
+#ifndef FIRESIM_MANAGER_CLUSTER_HH
+#define FIRESIM_MANAGER_CLUSTER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "manager/topology.hh"
+#include "net/fabric.hh"
+#include "node/server_blade.hh"
+#include "os/netstack.hh"
+#include "os/simos.hh"
+#include "switchmodel/switch.hh"
+
+namespace firesim
+{
+
+/** Everything that makes one simulated server usable: the blade
+ *  hardware, the OS, and the network stack bound together. */
+class NodeSystem
+{
+  public:
+    NodeSystem(BladeConfig blade_cfg, OsConfig os_cfg, NetConfig net_cfg,
+               Ip ip);
+
+    /** Tear down threads before the stack they reference (see
+     *  SimOS::shutdown). */
+    ~NodeSystem() { os_.shutdown(); }
+
+    ServerBlade &blade() { return blade_; }
+    SimOS &os() { return os_; }
+    NetStack &net() { return net_; }
+    Ip ip() const { return net_.ip(); }
+    MacAddr mac() const { return blade_.config().mac; }
+    const std::string &name() const { return blade_.config().name; }
+
+    /** Boot the node's network stack. Called by Cluster::Cluster. */
+    void start() { net_.start(); }
+
+  private:
+    ServerBlade blade_;
+    SimOS os_;
+    NetStack net_;
+};
+
+/** Cluster-wide defaults; per-server overrides come from ServerSpec. */
+struct ClusterConfig
+{
+    /** Target link latency in cycles (paper default: 2 us = 6400). */
+    Cycles linkLatency = 6400;
+    /** Port-to-port switching latency in cycles (Fig. 5 uses 10). */
+    Cycles switchLatency = 10;
+    /** Switch output drop bound in cycles (finite buffering). */
+    Cycles switchDropBound = 65536;
+    /** Target clock in GHz. */
+    double freqGhz = 3.2;
+    /** Kernel model parameters for every node. */
+    OsConfig os;
+    /** Network stack parameters for every node. */
+    NetConfig net;
+    /** NIC parameters for every node. */
+    NicConfig nic;
+    /** Base seed; node i uses seed base + i. */
+    uint64_t seed = 42;
+    /**
+     * Nonzero switches the network to purely functional simulation
+     * with this window in cycles (Section VII's performance/accuracy
+     * extreme): frames still flow, timing is quantized to the window,
+     * host rounds shrink accordingly. 0 = cycle-exact (default).
+     */
+    Cycles functionalWindow = 0;
+};
+
+class Cluster
+{
+  public:
+    /**
+     * Build and deploy the simulation for @p root. The Cluster takes
+     * ownership of the topology tree.
+     */
+    Cluster(SwitchSpec root, ClusterConfig config);
+
+    /** Advance the whole target by @p cycles. */
+    void run(Cycles cycles) { fabric_.run(cycles); }
+
+    /** Advance by @p us of target time. */
+    void runUs(double us)
+    {
+        fabric_.run(TargetClock(cfg.freqGhz).cyclesFromUs(us));
+    }
+
+    Cycles now() const { return fabric_.now(); }
+    TargetClock clock() const { return TargetClock(cfg.freqGhz); }
+
+    size_t nodeCount() const { return nodes.size(); }
+    size_t switchCount() const { return switches.size(); }
+    NodeSystem &node(size_t i) { return *nodes.at(i); }
+    Switch &switchAt(size_t i) { return *switches.at(i); }
+    /** The root switch is always index 0. */
+    Switch &rootSwitch() { return *switches.at(0); }
+    TokenFabric &fabric() { return fabric_; }
+    const ClusterConfig &config() const { return cfg; }
+
+    /**
+     * Human-readable end-of-run report: per-switch forwarding counters
+     * and per-node NIC/stack/CPU statistics — the numbers the manager's
+     * job-collection layer would gather from a real FireSim run.
+     */
+    std::string statsReport();
+
+    /** The MAC assigned to server index @p i. */
+    static MacAddr macFor(size_t i);
+    /** The IP assigned to server index @p i. */
+    static Ip ipFor(size_t i);
+
+  private:
+    /** Recursively instantiate switches/nodes below @p spec; returns
+     *  the index of the switch built for @p spec. */
+    size_t buildSubtree(const SwitchSpec &spec, uint32_t depth);
+
+    SwitchSpec topo;
+    ClusterConfig cfg;
+    TokenFabric fabric_;
+    std::vector<std::unique_ptr<NodeSystem>> nodes;
+    std::vector<std::unique_ptr<Switch>> switches;
+    // Parallel bookkeeping per built switch: its spec, and the server
+    // indices reachable through each downlink port.
+    std::vector<const SwitchSpec *> switchSpecs;
+    std::vector<std::vector<std::vector<size_t>>> switchPortServers;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_MANAGER_CLUSTER_HH

@@ -1,0 +1,43 @@
+#include "manager/topology.hh"
+
+namespace firesim
+{
+namespace topologies
+{
+
+SwitchSpec
+singleTor(uint32_t servers, const ServerSpec &spec)
+{
+    SwitchSpec root;
+    root.addServers(servers, spec);
+    return root;
+}
+
+SwitchSpec
+twoLevel(uint32_t tors, uint32_t servers_per_tor, const ServerSpec &spec)
+{
+    SwitchSpec root;
+    for (uint32_t t = 0; t < tors; ++t) {
+        SwitchSpec *tor = root.addSwitch();
+        tor->addServers(servers_per_tor, spec);
+    }
+    return root;
+}
+
+SwitchSpec
+threeLevel(uint32_t aggs, uint32_t tors_per_agg, uint32_t servers_per_tor,
+           const ServerSpec &spec)
+{
+    SwitchSpec root;
+    for (uint32_t a = 0; a < aggs; ++a) {
+        SwitchSpec *agg = root.addSwitch();
+        for (uint32_t t = 0; t < tors_per_agg; ++t) {
+            SwitchSpec *tor = agg->addSwitch();
+            tor->addServers(servers_per_tor, spec);
+        }
+    }
+    return root;
+}
+
+} // namespace topologies
+} // namespace firesim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Programmatic datacenter topology description (paper Section III-B3,
+ * Figure 4).
+ *
+ * The paper's manager takes a Python description:
+ *
+ *     root = SwitchNode()
+ *     level2switches = [SwitchNode() for x in range(8)]
+ *     servers = [[ServerNode("QuadCore") for y in range(8)]
+ *                for x in range(8)]
+ *     root.add_downlinks(level2switches)
+ *     for switch, svrs in zip(level2switches, servers):
+ *         switch.add_downlinks(svrs)
+ *
+ * The C++ equivalent here:
+ *
+ *     SwitchSpec root;
+ *     for (int x = 0; x < 8; ++x) {
+ *         SwitchSpec *tor = root.addSwitch();
+ *         for (int y = 0; y < 8; ++y)
+ *             tor->addServer(ServerSpec::quadCore());
+ *     }
+ *     Cluster cluster(std::move(root), config);
+ *
+ * The Cluster (cluster.hh) then builds and deploys the simulation:
+ * switch models, server systems, MAC/IP assignment and MAC-table
+ * population are all derived automatically from this tree.
+ */
+
+#ifndef FIRESIM_MANAGER_TOPOLOGY_HH
+#define FIRESIM_MANAGER_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace firesim
+{
+
+/** Server blade flavour, the "ServerNode(...)" argument. */
+struct ServerSpec
+{
+    std::string type = "QuadCore";
+    uint32_t cores = 4;
+    uint64_t memBytes = 16 * GiB;
+    /** FPGA resource share relative to a standard quad-Rocket blade
+     *  (Section VIII: "one BOOM core consumes roughly the same
+     *  resources as a quad-core Rocket"). */
+    double resourceUnits = 1.0;
+
+    static ServerSpec
+    quadCore()
+    {
+        return ServerSpec{"QuadCore", 4, 16 * GiB, 1.0};
+    }
+
+    static ServerSpec
+    singleCore()
+    {
+        return ServerSpec{"SingleCore", 1, 16 * GiB, 1.0};
+    }
+
+    /** A single-BOOM blade: one fat core, quad-Rocket resources. */
+    static ServerSpec
+    boom()
+    {
+        return ServerSpec{"BOOM", 1, 16 * GiB, 1.0};
+    }
+};
+
+/** A switch in the target topology; owns its downlinks. */
+class SwitchSpec
+{
+  public:
+    SwitchSpec() = default;
+    SwitchSpec(SwitchSpec &&) = default;
+    SwitchSpec &operator=(SwitchSpec &&) = default;
+    SwitchSpec(const SwitchSpec &) = delete;
+    SwitchSpec &operator=(const SwitchSpec &) = delete;
+
+    /** Add a downlink to a new child switch; returns it for chaining. */
+    SwitchSpec *
+    addSwitch()
+    {
+        switches.push_back(std::make_unique<SwitchSpec>());
+        return switches.back().get();
+    }
+
+    /** Add @p n server downlinks of the given spec. */
+    void
+    addServers(uint32_t n, const ServerSpec &spec = ServerSpec::quadCore())
+    {
+        for (uint32_t i = 0; i < n; ++i)
+            servers.push_back(spec);
+    }
+
+    /** Add one server downlink. */
+    void addServer(const ServerSpec &spec = ServerSpec::quadCore())
+    {
+        servers.push_back(spec);
+    }
+
+    const std::vector<std::unique_ptr<SwitchSpec>> &childSwitches() const
+    {
+        return switches;
+    }
+    const std::vector<ServerSpec> &childServers() const { return servers; }
+
+    /** Total ports: downlinks (+1 uplink added by the Cluster builder
+     *  for non-root switches). */
+    uint32_t
+    downlinkCount() const
+    {
+        return static_cast<uint32_t>(switches.size() + servers.size());
+    }
+
+    /** Count servers in this subtree. */
+    uint32_t
+    serverCount() const
+    {
+        uint32_t n = static_cast<uint32_t>(servers.size());
+        for (const auto &sw : switches)
+            n += sw->serverCount();
+        return n;
+    }
+
+    /** Count switches in this subtree, including this one. */
+    uint32_t
+    switchCount() const
+    {
+        uint32_t n = 1;
+        for (const auto &sw : switches)
+            n += sw->switchCount();
+        return n;
+    }
+
+    /** Depth of the switching hierarchy below (1 for a leaf ToR). */
+    uint32_t
+    levels() const
+    {
+        uint32_t deepest = 0;
+        for (const auto &sw : switches)
+            deepest = std::max(deepest, sw->levels());
+        return deepest + 1;
+    }
+
+  private:
+    std::vector<std::unique_ptr<SwitchSpec>> switches;
+    std::vector<ServerSpec> servers;
+};
+
+/** Convenience constructors for the topologies used in the paper. */
+namespace topologies
+{
+
+/** N servers under a single ToR switch (Fig. 5/7 experiments). */
+SwitchSpec singleTor(uint32_t servers,
+                     const ServerSpec &spec = ServerSpec::quadCore());
+
+/**
+ * A two-level tree: one root, @p tors ToR switches, @p servers_per_tor
+ * servers each (Figure 1: 8x8 = 64 nodes).
+ */
+SwitchSpec twoLevel(uint32_t tors, uint32_t servers_per_tor,
+                    const ServerSpec &spec = ServerSpec::quadCore());
+
+/**
+ * The 1024-node datacenter of Section V-C / Figure 10: one root,
+ * @p aggs aggregation switches, @p tors_per_agg ToRs each,
+ * @p servers_per_tor servers each (paper: 4, 8, 32).
+ */
+SwitchSpec threeLevel(uint32_t aggs, uint32_t tors_per_agg,
+                      uint32_t servers_per_tor,
+                      const ServerSpec &spec = ServerSpec::quadCore());
+
+} // namespace topologies
+
+} // namespace firesim
+
+#endif // FIRESIM_MANAGER_TOPOLOGY_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Set-associative write-back cache timing model and the Table I
+ * hierarchy (16 KiB L1I$ + 16 KiB L1D$ + 256 KiB shared L2$ over
+ * DDR3).
+ *
+ * The Rocket core is in-order and blocking, so a synchronous
+ * latency-returning interface is timing-faithful: each access returns
+ * the cycles until data is available, updating tag state (LRU) and,
+ * on misses, recursing into the next level and finally the DRAM
+ * model. Functional data lives in FunctionalMemory; the caches model
+ * timing and tag state only (data would be redundant).
+ */
+
+#ifndef FIRESIM_MEM_CACHE_HH
+#define FIRESIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "mem/dram.hh"
+
+namespace firesim
+{
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 16 * KiB;
+    uint32_t ways = 4;
+    uint32_t lineBytes = 64;
+    Cycles hitLatency = 2;
+};
+
+struct CacheStats
+{
+    Counter hits;
+    Counter misses;
+    Counter writebacks;
+
+    double
+    missRate() const
+    {
+        uint64_t total = hits.value() + misses.value();
+        return total ? static_cast<double>(misses.value()) / total : 0.0;
+    }
+};
+
+/** One cache level; `parent` is the next level (nullptr = DRAM). */
+class Cache
+{
+  public:
+    /**
+     * @param config geometry and hit latency
+     * @param parent next cache level, or nullptr to use @p dram
+     * @param dram memory model used when parent is null
+     */
+    Cache(CacheConfig config, Cache *parent, DramModel *dram);
+
+    /**
+     * Access one address (arbitrary alignment within a line) at time
+     * @p now. Accesses that straddle a line boundary touch both lines.
+     * @return latency in cycles until the data is available.
+     */
+    Cycles access(uint64_t addr, uint32_t bytes, bool is_write, Cycles now);
+
+    /** Invalidate everything (e.g. between experiment phases). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+    };
+
+    Cycles accessLine(uint64_t line_addr, bool is_write, Cycles now);
+    Cycles fillFromParent(uint64_t line_addr, Cycles now);
+
+    CacheConfig cfg;
+    Cache *parent;
+    DramModel *dram;
+    CacheStats stats_;
+    uint32_t sets;
+    std::vector<Line> lines; //!< sets x ways
+    uint64_t lruTick = 0;
+};
+
+/** The Table I per-core + shared hierarchy for one blade. */
+class MemHierarchy
+{
+  public:
+    /** Builds 16K/16K L1s per core and a shared 256K L2 over DDR3. */
+    explicit MemHierarchy(uint32_t cores, DramConfig dram_cfg = {});
+
+    /** Instruction fetch timing for core @p core. */
+    Cycles fetch(uint32_t core, uint64_t addr, Cycles now);
+    /** Data access timing for core @p core. */
+    Cycles data(uint32_t core, uint64_t addr, uint32_t bytes,
+                bool is_write, Cycles now);
+
+    Cache &l1i(uint32_t core) { return *l1is.at(core); }
+    Cache &l1d(uint32_t core) { return *l1ds.at(core); }
+    Cache &l2() { return *l2_; }
+    DramModel &dram() { return dram_; }
+
+  private:
+    DramModel dram_;
+    std::unique_ptr<Cache> l2_;
+    std::vector<std::unique_ptr<Cache>> l1is;
+    std::vector<std::unique_ptr<Cache>> l1ds;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_MEM_CACHE_HH

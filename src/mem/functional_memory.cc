@@ -1,0 +1,121 @@
+#include "mem/functional_memory.hh"
+
+#include <cstring>
+
+namespace firesim
+{
+
+uint8_t *
+FunctionalMemory::pageFor(uint64_t addr, bool allocate) const
+{
+    uint64_t page = addr / kPageBytes;
+    auto it = pages.find(page);
+    if (it != pages.end())
+        return it->second.get();
+    if (!allocate)
+        return nullptr;
+    auto mem = std::make_unique<uint8_t[]>(kPageBytes);
+    std::memset(mem.get(), 0, kPageBytes);
+    uint8_t *raw = mem.get();
+    pages.emplace(page, std::move(mem));
+    return raw;
+}
+
+void
+FunctionalMemory::read(uint64_t addr, void *dst, uint64_t len) const
+{
+    FS_ASSERT(addr + len <= capacity && addr + len >= addr,
+              "read [%llx,+%llu) out of bounds (capacity %llx)",
+              (unsigned long long)addr, (unsigned long long)len,
+              (unsigned long long)capacity);
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        uint64_t in_page = kPageBytes - addr % kPageBytes;
+        uint64_t chunk = std::min(len, in_page);
+        const uint8_t *page = pageFor(addr, false);
+        if (page)
+            std::memcpy(out, page + addr % kPageBytes, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+FunctionalMemory::write(uint64_t addr, const void *src, uint64_t len)
+{
+    FS_ASSERT(addr + len <= capacity && addr + len >= addr,
+              "write [%llx,+%llu) out of bounds (capacity %llx)",
+              (unsigned long long)addr, (unsigned long long)len,
+              (unsigned long long)capacity);
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        uint64_t in_page = kPageBytes - addr % kPageBytes;
+        uint64_t chunk = std::min(len, in_page);
+        uint8_t *page = pageFor(addr, true);
+        std::memcpy(page + addr % kPageBytes, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+uint64_t
+FunctionalMemory::read64(uint64_t addr) const
+{
+    uint64_t v;
+    read(addr, &v, 8);
+    return v;
+}
+
+uint32_t
+FunctionalMemory::read32(uint64_t addr) const
+{
+    uint32_t v;
+    read(addr, &v, 4);
+    return v;
+}
+
+uint16_t
+FunctionalMemory::read16(uint64_t addr) const
+{
+    uint16_t v;
+    read(addr, &v, 2);
+    return v;
+}
+
+uint8_t
+FunctionalMemory::read8(uint64_t addr) const
+{
+    uint8_t v;
+    read(addr, &v, 1);
+    return v;
+}
+
+void
+FunctionalMemory::write64(uint64_t addr, uint64_t value)
+{
+    write(addr, &value, 8);
+}
+
+void
+FunctionalMemory::write32(uint64_t addr, uint32_t value)
+{
+    write(addr, &value, 4);
+}
+
+void
+FunctionalMemory::write16(uint64_t addr, uint16_t value)
+{
+    write(addr, &value, 2);
+}
+
+void
+FunctionalMemory::write8(uint64_t addr, uint8_t value)
+{
+    write(addr, &value, 1);
+}
+
+} // namespace firesim

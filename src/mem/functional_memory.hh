@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse functional memory backing a server blade's DRAM.
+ *
+ * Functional state only — timing is supplied by the cache hierarchy and
+ * the DDR3 timing model (dram.hh) for the RISC-V core path, and by the
+ * DMA models in the NIC/block device. Pages are allocated lazily so a
+ * blade can be configured with the paper's 16 GiB without host cost.
+ */
+
+#ifndef FIRESIM_MEM_FUNCTIONAL_MEMORY_HH
+#define FIRESIM_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace firesim
+{
+
+/** Byte-addressable sparse memory with 4 KiB backing pages. */
+class FunctionalMemory
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    /** @param size_bytes capacity; accesses beyond it panic. */
+    explicit FunctionalMemory(uint64_t size_bytes)
+        : capacity(size_bytes)
+    {
+        if (size_bytes == 0)
+            fatal("memory size must be nonzero");
+    }
+
+    uint64_t size() const { return capacity; }
+
+    /** Copy @p len bytes at @p addr into @p dst. */
+    void read(uint64_t addr, void *dst, uint64_t len) const;
+
+    /** Copy @p len bytes from @p src into memory at @p addr. */
+    void write(uint64_t addr, const void *src, uint64_t len);
+
+    /** Little-endian scalar accessors used by the RISC-V core. */
+    uint64_t read64(uint64_t addr) const;
+    uint32_t read32(uint64_t addr) const;
+    uint16_t read16(uint64_t addr) const;
+    uint8_t read8(uint64_t addr) const;
+    void write64(uint64_t addr, uint64_t value);
+    void write32(uint64_t addr, uint32_t value);
+    void write16(uint64_t addr, uint16_t value);
+    void write8(uint64_t addr, uint8_t value);
+
+    /** Number of lazily allocated backing pages (for tests). */
+    size_t allocatedPages() const { return pages.size(); }
+
+  private:
+    uint8_t *pageFor(uint64_t addr, bool allocate) const;
+
+    uint64_t capacity;
+    // mutable: reads of untouched memory return zeroes without
+    // allocating; the map itself is only grown on writes.
+    mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_MEM_FUNCTIONAL_MEMORY_HH

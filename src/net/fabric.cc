@@ -1,0 +1,222 @@
+#include "net/fabric.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace firesim
+{
+
+TokenChannel::TokenChannel(Cycles latency, Cycles quantum)
+    : lat(latency), quant(quantum)
+{
+    FS_ASSERT(latency > 0, "link latency must be nonzero");
+    FS_ASSERT(quantum > 0 && latency % quantum == 0,
+              "quantum %llu must divide latency %llu",
+              (unsigned long long)quantum, (unsigned long long)latency);
+    // Seed the link with latency/quantum batches of empty tokens: the
+    // first `latency` arrival cycles carry nothing because nothing was
+    // transmitted before target cycle 0.
+    for (Cycles at = 0; at < latency; at += quantum) {
+        queue.emplace_back(at, static_cast<uint32_t>(quantum));
+        nextPushStart = at + quantum;
+    }
+    nextPopStart = 0;
+}
+
+void
+TokenChannel::push(TokenBatch batch)
+{
+    FS_ASSERT(batch.len == quant, "batch len %u != channel quantum %llu",
+              batch.len, (unsigned long long)quant);
+    // Restamp from production time to arrival time: a token produced at
+    // cycle M is consumed at M + latency.
+    batch.start += lat;
+    FS_ASSERT(batch.start == nextPushStart,
+              "non-contiguous batch push: got %llu expected %llu",
+              (unsigned long long)batch.start,
+              (unsigned long long)nextPushStart);
+    nextPushStart += quant;
+    queue.push_back(std::move(batch));
+}
+
+TokenBatch
+TokenChannel::pop()
+{
+    FS_ASSERT(!queue.empty(), "pop from empty token channel");
+    TokenBatch batch = std::move(queue.front());
+    queue.pop_front();
+    FS_ASSERT(batch.start == nextPopStart,
+              "non-contiguous batch pop: got %llu expected %llu",
+              (unsigned long long)batch.start,
+              (unsigned long long)nextPopStart);
+    nextPopStart += quant;
+    return batch;
+}
+
+void
+TokenFabric::addEndpoint(TokenEndpoint *endpoint)
+{
+    FS_ASSERT(!finalized, "cannot add endpoints after finalize()");
+    FS_ASSERT(endpoint != nullptr, "null endpoint");
+    for (const auto &state : endpoints)
+        FS_ASSERT(state.endpoint != endpoint, "endpoint %s added twice",
+                  endpoint->name().c_str());
+    EndpointState state;
+    state.endpoint = endpoint;
+    state.in.assign(endpoint->numPorts(), nullptr);
+    state.out.assign(endpoint->numPorts(), nullptr);
+    endpoints.push_back(std::move(state));
+}
+
+TokenFabric::EndpointState &
+TokenFabric::stateFor(TokenEndpoint *endpoint)
+{
+    for (auto &state : endpoints)
+        if (state.endpoint == endpoint)
+            return state;
+    panic("endpoint %s not registered with fabric",
+          endpoint->name().c_str());
+}
+
+void
+TokenFabric::connect(TokenEndpoint *a, uint32_t port_a, TokenEndpoint *b,
+                     uint32_t port_b, Cycles latency)
+{
+    FS_ASSERT(!finalized, "cannot connect after finalize()");
+    EndpointState &sa = stateFor(a);
+    EndpointState &sb = stateFor(b);
+    FS_ASSERT(port_a < sa.in.size(), "port %u out of range on %s", port_a,
+              a->name().c_str());
+    FS_ASSERT(port_b < sb.in.size(), "port %u out of range on %s", port_b,
+              b->name().c_str());
+    for (const auto &link : pendingLinks) {
+        bool clash = (link.a == a && link.portA == port_a) ||
+                     (link.b == a && link.portB == port_a) ||
+                     (link.a == b && link.portA == port_b) ||
+                     (link.b == b && link.portB == port_b);
+        if (clash)
+            fatal("port already connected (%s:%u or %s:%u)",
+                  a->name().c_str(), port_a, b->name().c_str(), port_b);
+    }
+
+    // Channels are constructed at finalize() time, once the fabric
+    // quantum (min latency) is known.
+    pendingLinks.push_back(Link{a, port_a, b, port_b, latency});
+}
+
+void
+TokenFabric::setFunctionalMode(Cycles window)
+{
+    FS_ASSERT(!finalized, "setFunctionalMode() after finalize()");
+    if (window == 0)
+        fatal("functional-mode window must be nonzero");
+    functionalWindow = window;
+}
+
+void
+TokenFabric::finalize()
+{
+    FS_ASSERT(!finalized, "finalize() called twice");
+    if (pendingLinks.empty())
+        fatal("token fabric has no links");
+
+    if (functionalWindow) {
+        // Purely functional networking: coarsen every link to the
+        // window so the decoupled endpoints advance in big strides.
+        for (auto &link : pendingLinks)
+            link.latency = functionalWindow;
+        warn("functional network mode: link timing quantized to %llu "
+             "cycles",
+             (unsigned long long)functionalWindow);
+    }
+
+    quant = pendingLinks.front().latency;
+    for (const auto &link : pendingLinks)
+        quant = std::min(quant, link.latency);
+    for (const auto &link : pendingLinks) {
+        if (link.latency % quant != 0) {
+            fatal("link latency %llu not a multiple of fabric quantum "
+                  "%llu; use commensurate latencies",
+                  (unsigned long long)link.latency,
+                  (unsigned long long)quant);
+        }
+    }
+
+    for (const auto &link : pendingLinks) {
+        EndpointState &sa = stateFor(link.a);
+        EndpointState &sb = stateFor(link.b);
+        auto ab = std::make_unique<TokenChannel>(link.latency, quant);
+        auto ba = std::make_unique<TokenChannel>(link.latency, quant);
+        sa.out[link.portA] = ab.get();
+        sb.in[link.portB] = ab.get();
+        sb.out[link.portB] = ba.get();
+        sa.in[link.portA] = ba.get();
+        channels.push_back(std::move(ab));
+        channels.push_back(std::move(ba));
+    }
+
+    for (const auto &state : endpoints) {
+        for (uint32_t p = 0; p < state.in.size(); ++p) {
+            if (!state.in[p] || !state.out[p])
+                fatal("port %u of endpoint %s left unconnected", p,
+                      state.endpoint->name().c_str());
+        }
+    }
+
+    if (stepOrder.empty()) {
+        stepOrder.resize(endpoints.size());
+        std::iota(stepOrder.begin(), stepOrder.end(), 0);
+    }
+    finalized = true;
+}
+
+void
+TokenFabric::setStepOrder(std::vector<size_t> order)
+{
+    FS_ASSERT(order.size() == endpoints.size() || order.empty(),
+              "step order size mismatch");
+    stepOrder = std::move(order);
+}
+
+void
+TokenFabric::run(Cycles cycles)
+{
+    FS_ASSERT(finalized, "run() before finalize()");
+    Cycles target = curCycle + cycles;
+    std::vector<const TokenBatch *> in;
+    std::vector<TokenBatch> popped;
+    std::vector<TokenBatch> out;
+
+    while (curCycle < target) {
+        for (size_t idx : stepOrder) {
+            EndpointState &state = endpoints[idx];
+            uint32_t ports = state.endpoint->numPorts();
+
+            popped.clear();
+            popped.reserve(ports);
+            in.clear();
+            for (uint32_t p = 0; p < ports; ++p) {
+                FS_ASSERT(state.in[p]->ready(),
+                          "channel underflow into %s:%u",
+                          state.endpoint->name().c_str(), p);
+                popped.push_back(state.in[p]->pop());
+            }
+            for (uint32_t p = 0; p < ports; ++p)
+                in.push_back(&popped[p]);
+
+            out.clear();
+            for (uint32_t p = 0; p < ports; ++p)
+                out.emplace_back(curCycle, static_cast<uint32_t>(quant));
+
+            state.endpoint->advance(curCycle, quant, in, out);
+
+            for (uint32_t p = 0; p < ports; ++p) {
+                state.out[p]->push(std::move(out[p]));
+                ++batchCount;
+            }
+        }
+        curCycle += quant;
+    }
+}
+
+} // namespace firesim

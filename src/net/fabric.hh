@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The decoupled token fabric (paper Section III-B2).
+ *
+ * Endpoints (server blades and switches) expose numbered link ports.
+ * Every port pair is connected by two unidirectional TokenChannels.
+ * A channel of latency N always carries N in-flight tokens: a flit
+ * issued by one endpoint at cycle M is consumed by the other at M + N.
+ *
+ * Host-transport batching: tokens move in batches of `quantum` cycles.
+ * FireSim sets the batch size to the link latency; when a topology mixes
+ * latencies, the fabric batches by the smallest latency and seeds longer
+ * channels with proportionally more in-flight batches, which preserves
+ * per-flit delivery cycles exactly.
+ *
+ * Determinism: each endpoint consumes exactly one batch per input port
+ * and produces one per output port each round, so channel occupancy is
+ * invariant and results are independent of the order in which endpoints
+ * are stepped (property-tested in tests/net).
+ */
+
+#ifndef FIRESIM_NET_FABRIC_HH
+#define FIRESIM_NET_FABRIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "net/token.hh"
+
+namespace firesim
+{
+
+/** One direction of a simulated link. */
+class TokenChannel
+{
+  public:
+    /**
+     * @param latency link latency in cycles
+     * @param quantum batch length in cycles (must divide latency)
+     */
+    TokenChannel(Cycles latency, Cycles quantum);
+
+    Cycles latency() const { return lat; }
+    Cycles quantum() const { return quant; }
+
+    /** Producer side: enqueue the next batch. */
+    void push(TokenBatch batch);
+
+    /** Consumer side: true when a batch is ready. */
+    bool ready() const { return !queue.empty(); }
+
+    /** Consumer side: dequeue the next batch. */
+    TokenBatch pop();
+
+    /** Number of buffered batches. */
+    size_t depth() const { return queue.size(); }
+
+  private:
+    Cycles lat;
+    Cycles quant;
+    Cycles nextPushStart = 0; //!< producer-side batch start bookkeeping
+    Cycles nextPopStart = 0;  //!< consumer-side expected batch start
+    std::deque<TokenBatch> queue;
+};
+
+/**
+ * Anything that terminates simulated links: a server blade's NIC-side
+ * token interface or a switch. The FAME-1 contract: advance() is handed
+ * exactly one input batch per port and must fill one output batch per
+ * port, advancing the component by `window` cycles.
+ */
+class TokenEndpoint
+{
+  public:
+    virtual ~TokenEndpoint() = default;
+
+    /** Number of link ports on this endpoint. */
+    virtual uint32_t numPorts() const = 0;
+
+    /** Human-readable name for diagnostics. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Advance `window` target cycles.
+     * @param window_start first cycle of the window
+     * @param window number of cycles to advance
+     * @param in one input batch per port (covering the *link arrival*
+     *           cycles of this window; the fabric accounts for latency)
+     * @param out one pre-sized empty output batch per port to fill
+     */
+    virtual void advance(Cycles window_start, Cycles window,
+                         const std::vector<const TokenBatch *> &in,
+                         std::vector<TokenBatch> &out) = 0;
+};
+
+/**
+ * Owns the endpoints' wiring and drives the decoupled simulation in
+ * rounds. Mirrors FireSim's distributed runner, with in-process queues
+ * standing in for PCIe/shared-memory/TCP transport (the modeled host
+ * costs of those transports live in src/host).
+ */
+class TokenFabric
+{
+  public:
+    /** Register an endpoint; the fabric does not take ownership. */
+    void addEndpoint(TokenEndpoint *endpoint);
+
+    /**
+     * Create the two channels of a full-duplex link between
+     * (a, port_a) and (b, port_b) with the given latency in cycles.
+     */
+    void connect(TokenEndpoint *a, uint32_t port_a, TokenEndpoint *b,
+                 uint32_t port_b, Cycles latency);
+
+    /**
+     * Switch to purely functional network simulation (paper Section
+     * VII: the far end of the performance/accuracy curve, where
+     * "individual simulated nodes run at 150+ MHz while still
+     * supporting the transport of Ethernet frames"). Every link's
+     * latency is coarsened to @p window cycles, so endpoints advance
+     * in large decoupled windows and host rounds shrink by
+     * window/latency; frame *delivery* remains exact, frame *timing*
+     * is quantized to the window. Call before finalize().
+     */
+    void setFunctionalMode(Cycles window);
+
+    /**
+     * Finalize wiring: checks that every port is connected, computes the
+     * round quantum, and seeds every channel with its latency's worth of
+     * empty tokens. Must be called exactly once before run().
+     */
+    void finalize();
+
+    /** Advance the whole target by @p cycles (rounded up to rounds). */
+    void run(Cycles cycles);
+
+    /** Current target cycle (all endpoints have advanced this far). */
+    Cycles now() const { return curCycle; }
+
+    /** Round quantum in cycles (min link latency). */
+    Cycles quantum() const { return quant; }
+
+    /** Total batches moved across all channels so far (host traffic). */
+    uint64_t batchesMoved() const { return batchCount; }
+
+    /**
+     * Testing hook: permute the endpoint stepping order. Results must
+     * not change (decoupled determinism); property tests rely on this.
+     */
+    void setStepOrder(std::vector<size_t> order);
+
+  private:
+    struct Link
+    {
+        TokenEndpoint *a = nullptr;
+        uint32_t portA = 0;
+        TokenEndpoint *b = nullptr;
+        uint32_t portB = 0;
+        Cycles latency = 0;
+    };
+
+    struct EndpointState
+    {
+        TokenEndpoint *endpoint = nullptr;
+        // Per-port channels; in[i] feeds port i, out[i] drains it.
+        std::vector<TokenChannel *> in;
+        std::vector<TokenChannel *> out;
+    };
+
+    EndpointState &stateFor(TokenEndpoint *endpoint);
+
+    Cycles functionalWindow = 0; //!< 0 = cycle-exact timing
+    std::vector<Link> pendingLinks;
+    std::vector<EndpointState> endpoints;
+    std::vector<std::unique_ptr<TokenChannel>> channels;
+    std::vector<size_t> stepOrder;
+    Cycles quant = 0;
+    Cycles curCycle = 0;
+    uint64_t batchCount = 0;
+    bool finalized = false;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_NET_FABRIC_HH

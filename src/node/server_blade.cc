@@ -1,0 +1,49 @@
+#include "node/server_blade.hh"
+
+#include <algorithm>
+
+namespace firesim
+{
+
+ServerBlade::ServerBlade(BladeConfig config)
+    : cfg(std::move(config)), mem(cfg.memBytes)
+{
+    if (cfg.cores < 1 || cfg.cores > 4)
+        fatal("blade '%s': %u cores (Table I allows 1 to 4)",
+              cfg.name.c_str(), cfg.cores);
+    cfg.nic.name = cfg.name + ".nic";
+    cfg.blockdev.name = cfg.name + ".blkdev";
+    nicDev = std::make_unique<Nic>(cfg.nic, eq, mem, cfg.mac);
+    blkDev = std::make_unique<BlockDevice>(cfg.blockdev, eq, mem);
+}
+
+void
+ServerBlade::advance(Cycles window_start, Cycles window,
+                     const std::vector<const TokenBatch *> &in,
+                     std::vector<TokenBatch> &out)
+{
+    FS_ASSERT(in.size() == 1 && out.size() == 1,
+              "blade %s is a single-port endpoint", cfg.name.c_str());
+    // In normal cluster operation the event queue is driven only by
+    // advance(), so eq.now() == window_start exactly. In single-node
+    // co-simulation (a RocketCore driving devices through MMIO between
+    // fabric rounds) the queue may already have been run ahead; the
+    // window is then replayed with bounded skew.
+    Cycles window_end = window_start + window;
+
+    // Turn each arriving token into a NIC delivery at its exact cycle.
+    for (const Flit &flit : in[0]->flits) {
+        Cycles at = std::max(in[0]->absCycle(flit), eq.now());
+        eq.schedule(at, [this, flit, at] { nicDev->deliverFlit(flit, at); });
+    }
+
+    // Execute everything the blade does in this window: CPU/OS events,
+    // DMA completions, device timers.
+    if (eq.now() < window_end)
+        eq.runUntil(window_end);
+
+    // Emit this window's transmitted tokens.
+    nicDev->drainTx(window_start, out[0]);
+}
+
+} // namespace firesim

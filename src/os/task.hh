@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Coroutine task type for simulated-OS threads.
+ *
+ * Application and kernel code for simulated nodes is written as ordinary
+ * C++20 coroutines. Simulated time only passes at co_await points (CPU
+ * bursts, sleeps, blocking I/O); pure C++ between awaits executes
+ * instantaneously in target time. This replaces the RISC-V Linux
+ * userland the paper runs on its FPGA-hosted blades: the OS model
+ * charges calibrated CPU costs for the code paths that matter to the
+ * evaluation (syscalls, the network stack, scheduling).
+ *
+ * Task<T> supports nesting: a coroutine may co_await another Task and
+ * receive its return value; the simulated-thread identity propagates to
+ * the callee and completion resumes the caller via symmetric transfer.
+ */
+
+#ifndef FIRESIM_OS_TASK_HH
+#define FIRESIM_OS_TASK_HH
+
+#include <coroutine>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+class SimThread;
+
+/** Called when a simulated thread's top-level coroutine completes. */
+void simThreadCoroutineDone(SimThread *thread);
+
+namespace detail
+{
+
+struct PromiseBase
+{
+    /** The coroutine to resume when this one finishes (nested tasks). */
+    std::coroutine_handle<> continuation;
+    /** The simulated thread this coroutine runs as. */
+    SimThread *thread = nullptr;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            PromiseBase &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            if (p.thread)
+                simThreadCoroutineDone(p.thread);
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        panic("unhandled exception escaped a simulated thread");
+    }
+};
+
+} // namespace detail
+
+/** A lazily started coroutine returning T (default void). */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        T value{};
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    using handle_t = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(handle_t handle) : h(handle) {}
+    Task(Task &&other) noexcept : h(std::exchange(other.h, {})) {}
+    Task &operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            if (h)
+                h.destroy();
+            h = std::exchange(other.h, {});
+        }
+        return *this;
+    }
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    handle_t handle() const { return h; }
+
+    struct Awaiter
+    {
+        handle_t h;
+
+        bool await_ready() { return !h || h.done(); }
+
+        template <typename CallerPromise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<CallerPromise> caller)
+        {
+            h.promise().thread = caller.promise().thread;
+            h.promise().continuation = caller;
+            return h;
+        }
+
+        T await_resume() { return std::move(h.promise().value); }
+    };
+
+    /** Awaiting a Task starts it on the current simulated thread. */
+    Awaiter operator co_await() && { return Awaiter{h}; }
+
+  private:
+    handle_t h;
+};
+
+/** Specialization for void-returning tasks. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() {}
+    };
+
+    using handle_t = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(handle_t handle) : h(handle) {}
+    Task(Task &&other) noexcept : h(std::exchange(other.h, {})) {}
+    Task &operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            if (h)
+                h.destroy();
+            h = std::exchange(other.h, {});
+        }
+        return *this;
+    }
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    handle_t handle() const { return h; }
+
+    struct Awaiter
+    {
+        handle_t h;
+
+        bool await_ready() { return !h || h.done(); }
+
+        template <typename CallerPromise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<CallerPromise> caller)
+        {
+            h.promise().thread = caller.promise().thread;
+            h.promise().continuation = caller;
+            return h;
+        }
+
+        void await_resume() {}
+    };
+
+    Awaiter operator co_await() && { return Awaiter{h}; }
+
+  private:
+    handle_t h;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_OS_TASK_HH

@@ -1,0 +1,210 @@
+#include "pfa/pager.hh"
+
+namespace firesim
+{
+
+RemotePager::RemotePager(NodeSystem &node_sys, PagerConfig config)
+    : node(node_sys), cfg(config)
+{
+    if (cfg.localFrames == 0)
+        fatal("pager needs at least one local frame");
+    if (cfg.mode == PagingMode::Pfa && cfg.freeQTarget >= cfg.localFrames)
+        fatal("freeQ target %u consumes the whole local memory (%llu)",
+              cfg.freeQTarget, (unsigned long long)cfg.localFrames);
+}
+
+RemotePager::~RemotePager() = default;
+
+void
+RemotePager::start()
+{
+    FS_ASSERT(!started, "pager started twice");
+    started = true;
+    sock = std::make_unique<UdpSocket>(node.net(), cfg.localPort);
+
+    if (cfg.mode == PagingMode::Pfa) {
+        // The PFA sits on the NIC: its traffic bypasses the software
+        // receive path.
+        node.net().setHwRxPort(cfg.localPort, cfg.pfaHwCycles);
+        // The OS seeds the freeQ with frames up front.
+        freeQ = std::min<uint64_t>(cfg.freeQTarget, cfg.localFrames);
+        node.os().spawn("pfa-daemon", -1,
+                        [this]() -> Task<> { return daemonLoop(); });
+    }
+    node.os().spawn("pager-rx", -1,
+                    [this]() -> Task<> { return rxLoop(); });
+}
+
+void
+RemotePager::prefault(uint64_t pages)
+{
+    FS_ASSERT(started, "prefault() before start()");
+    uint64_t headroom = cfg.mode == PagingMode::Pfa ? freeQ : 0;
+    uint64_t cap = cfg.localFrames - std::min<uint64_t>(cfg.localFrames,
+                                                        headroom);
+    uint64_t n = std::min(pages, cap);
+    for (uint64_t p = 0; p < n; ++p) {
+        if (!resident.count(p)) {
+            resident[p] = false;
+            fifo.push_back(p);
+        }
+    }
+}
+
+bool
+RemotePager::isLocal(uint64_t page) const
+{
+    return resident.count(page) != 0;
+}
+
+Task<>
+RemotePager::rxLoop()
+{
+    while (true) {
+        Datagram d = co_await sock->recv();
+        RemoteMemOp op;
+        uint64_t page_id;
+        if (!decodeRemoteMemHeader(d.data, op, page_id))
+            continue;
+        if (op == RemoteMemOp::ReadResp) {
+            auto it = pendingFetches.find(page_id);
+            if (it != pendingFetches.end()) {
+                it->second->done = true;
+                it->second->wait.notifyAll();
+            }
+        }
+        // WriteAcks are fire-and-forget (asynchronous write-back).
+    }
+}
+
+Task<>
+RemotePager::fetchPage(uint64_t page, Cycles tx_cost)
+{
+    PendingFetch pending;
+    pendingFetches[page] = &pending;
+    co_await sock->sendToHw(cfg.memBladeIp, cfg.memBladePort,
+                            encodeRemoteMem(RemoteMemOp::ReadReq, page,
+                                            nullptr),
+                            tx_cost);
+    while (!pending.done)
+        co_await node.os().waitOn(pending.wait);
+    pendingFetches.erase(page);
+}
+
+Task<>
+RemotePager::evictOne(bool charge_cpu)
+{
+    if (fifo.empty())
+        co_return;
+    uint64_t victim = fifo.front();
+    fifo.pop_front();
+    bool dirty = resident[victim];
+    resident.erase(victim);
+    ++stats_.evictions;
+
+    if (charge_cpu)
+        co_await node.os().cpu(cfg.evictCycles);
+
+    if (dirty) {
+        ++stats_.dirtyWritebacks;
+        // Asynchronous write-back: send the page, do not wait for the
+        // ack. The transmit costs the kernel path in software mode and
+        // the small device cost under the PFA.
+        std::vector<uint8_t> data(kPageBytes4k, 0x11);
+        Cycles tx = cfg.mode == PagingMode::Pfa ? cfg.pfaHwCycles
+                                                : cfg.swRequestTxCycles;
+        co_await sock->sendToHw(cfg.memBladeIp, cfg.memBladePort,
+                                encodeRemoteMem(RemoteMemOp::WriteReq,
+                                                victim, &data),
+                                tx);
+    }
+}
+
+Task<>
+RemotePager::touch(uint64_t page, bool dirty)
+{
+    FS_ASSERT(started, "touch() before start()");
+    auto it = resident.find(page);
+    if (it != resident.end()) {
+        ++stats_.localHits;
+        if (dirty)
+            it->second = true;
+        co_return;
+    }
+
+    ++stats_.faults;
+    Cycles fault_start = node.os().now();
+
+    if (cfg.mode == PagingMode::Software) {
+        // Trap + handler on the faulting thread's core.
+        co_await node.os().cpu(cfg.trapCycles + cfg.handlerCycles);
+        // Reclaim a frame inline when memory is full.
+        if (resident.size() >= cfg.localFrames)
+            co_await evictOne(true);
+        // Fetch through the kernel network path.
+        co_await fetchPage(page, cfg.swRequestTxCycles);
+        // Inline metadata bookkeeping for the new page.
+        co_await node.os().cpu(cfg.metadataPerPage);
+        stats_.metadataCycles += cfg.metadataPerPage;
+        // Cache pollution slows the application after the handler.
+        co_await node.os().cpu(cfg.cachePollutionCycles);
+    } else {
+        // The PFA issues the fetch in hardware.
+        co_await node.os().cpu(cfg.pfaHwCycles);
+        if (freeQ == 0) {
+            // freeQ empty: fall back to a synchronous, software-style
+            // reclaim (the OS could not keep up).
+            ++stats_.syncFallbacks;
+            co_await node.os().cpu(cfg.trapCycles);
+            co_await evictOne(true);
+        } else {
+            --freeQ;
+        }
+        co_await fetchPage(page, cfg.pfaHwCycles);
+        // Push the new-page descriptor; the OS drains it later.
+        ++newQ;
+        if (newQ >= cfg.newQBatch || freeQ < cfg.freeQTarget / 2)
+            daemonWait.notifyOne();
+    }
+
+    resident[page] = dirty;
+    fifo.push_back(page);
+    stats_.faultStallCycles += node.os().now() - fault_start;
+}
+
+Task<>
+RemotePager::daemonLoop()
+{
+    while (true) {
+        while (newQ < cfg.newQBatch && freeQ >= cfg.freeQTarget / 2)
+            co_await node.os().waitOn(daemonWait);
+
+        co_await node.os().cpu(cfg.daemonWakeCycles);
+        stats_.metadataCycles += cfg.daemonWakeCycles;
+
+        // Drain the newQ in one batch: the shared code path stays warm,
+        // so the per-page cost is the amortized one.
+        uint64_t batch = newQ;
+        newQ = 0;
+        if (batch) {
+            Cycles cost = batch * cfg.pfaMetadataPerPage;
+            co_await node.os().cpu(cost);
+            stats_.metadataCycles += cost;
+        }
+
+        // Refill the freeQ by evicting in the background.
+        while (freeQ < cfg.freeQTarget &&
+               resident.size() + freeQ >= cfg.localFrames &&
+               !fifo.empty()) {
+            co_await evictOne(true);
+            ++freeQ;
+        }
+        // If memory is not yet full, frames are free for the taking.
+        while (freeQ < cfg.freeQTarget &&
+               resident.size() + freeQ < cfg.localFrames) {
+            ++freeQ;
+        }
+    }
+}
+
+} // namespace firesim

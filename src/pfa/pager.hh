@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Remote-memory paging: the software baseline and the Page-Fault
+ * Accelerator (paper Section VI).
+ *
+ * Both modes keep a budget of local page frames backed by a remote
+ * memory blade and differ in who handles the latency-critical fault:
+ *
+ *  - Software paging (the Infiniswap-style baseline): a fault traps to
+ *    the kernel, the handler runs on the CPU (polluting caches), sends
+ *    the page request through the kernel network path, performs victim
+ *    selection and per-page metadata bookkeeping inline, and resumes
+ *    the application.
+ *
+ *  - PFA: the hardware detects the remote page and issues the request
+ *    itself; the application stalls only for the network fetch plus a
+ *    small hardware latency. The OS supplies free frames through the
+ *    freeQ and consumes new-page descriptors from the newQ
+ *    asynchronously — a daemon drains the newQ in batches, which is
+ *    where the paper's 2.5x reduction in metadata-management time
+ *    comes from (same eviction count, better locality, fewer
+ *    cache-polluting faults).
+ *
+ * Eviction write-backs are asynchronous (fire-and-forget to the memory
+ * blade) in both modes, as in kswapd-style reclaim; the CPU costs of
+ * reclaim differ per mode as above.
+ */
+
+#ifndef FIRESIM_PFA_PAGER_HH
+#define FIRESIM_PFA_PAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "manager/cluster.hh"
+#include "pfa/remote_memory.hh"
+
+namespace firesim
+{
+
+enum class PagingMode : uint8_t { Software, Pfa };
+
+struct PagerConfig
+{
+    PagingMode mode = PagingMode::Software;
+    /** Local memory budget in 4 KiB frames. */
+    uint64_t localFrames = 4096;
+    Ip memBladeIp = 0;
+    uint16_t memBladePort = kMemBladePort;
+    uint16_t localPort = 9300;
+
+    // --- software-paging costs ---------------------------------------
+    /** Fault trap entry/exit (~1.5 us). */
+    Cycles trapCycles = 4800;
+    /** Handler work: walk, map, accounting (~2.5 us). */
+    Cycles handlerCycles = 6400;
+    /** Kernel-internal transmit of the page request (~3 us). */
+    Cycles swRequestTxCycles = 9600;
+    /** Post-fault cache pollution charged to the application. */
+    Cycles cachePollutionCycles = 3200;
+    /** Victim selection + unmap + TLB shootdown per eviction (~2 us). */
+    Cycles evictCycles = 6400;
+    /** Per-page metadata bookkeeping on the fault path (~0.75 us). */
+    Cycles metadataPerPage = 2400;
+
+    // --- PFA costs -----------------------------------------------------
+    /** Hardware fast-path latency per fault (50 ns). */
+    Cycles pfaHwCycles = 160;
+    /** Free frames the daemon keeps staged in the freeQ. */
+    uint32_t freeQTarget = 16;
+    /** newQ entries accumulated before the daemon drains them. */
+    uint32_t newQBatch = 32;
+    /** Amortized per-page metadata cost when batched (the 2.5x). */
+    Cycles pfaMetadataPerPage = 800;
+    /** Daemon wakeup overhead per drain. */
+    Cycles daemonWakeCycles = 1600;
+};
+
+struct PagerStats
+{
+    uint64_t faults = 0;
+    uint64_t localHits = 0;
+    uint64_t evictions = 0;
+    uint64_t dirtyWritebacks = 0;
+    uint64_t syncFallbacks = 0; //!< PFA faults that found freeQ empty
+    /** Application-visible stall cycles across all faults. */
+    Cycles faultStallCycles = 0;
+    /** OS metadata-management time (the paper's 2.5x metric). */
+    Cycles metadataCycles = 0;
+};
+
+/**
+ * One node's paged remote memory. Workloads call touch() for every
+ * page-granularity access; local hits are free (the workload charges
+ * its own compute), remote pages fault per the configured mode.
+ *
+ * Designed for the paper's single-threaded workloads: one fault may be
+ * outstanding at a time.
+ */
+class RemotePager
+{
+  public:
+    RemotePager(NodeSystem &node, PagerConfig cfg);
+    ~RemotePager();
+
+    /** Spawn the receive demux (and, in PFA mode, the OS daemon). */
+    void start();
+
+    /**
+     * Instantly populate local memory with pages 0..n-1 (up to the
+     * mode's resident capacity), as a benchmark's setup phase would.
+     * Keeps cold compulsory misses out of the measured region.
+     */
+    void prefault(uint64_t pages);
+
+    /** Access @p page; @p dirty marks it modified. */
+    Task<> touch(uint64_t page, bool dirty);
+
+    bool isLocal(uint64_t page) const;
+    uint64_t residentPages() const { return fifo.size(); }
+    const PagerStats &stats() const { return stats_; }
+    const PagerConfig &config() const { return cfg; }
+
+  private:
+    struct PendingFetch
+    {
+        bool done = false;
+        WaitQueue wait;
+    };
+
+    Task<> rxLoop();
+    Task<> daemonLoop();
+    /** Evict one resident page (CPU cost per mode charged by caller). */
+    Task<> evictOne(bool charge_cpu);
+    Task<> fetchPage(uint64_t page, Cycles tx_cost);
+
+    NodeSystem &node;
+    PagerConfig cfg;
+    PagerStats stats_;
+
+    std::unique_ptr<UdpSocket> sock;
+    /** Residency: pages present locally, in arrival order (FIFO). */
+    std::unordered_map<uint64_t, bool> resident; //!< page -> dirty
+    std::deque<uint64_t> fifo;
+    uint64_t freeQ = 0;   //!< staged free frames (PFA)
+    uint64_t newQ = 0;    //!< unprocessed new-page descriptors (PFA)
+    WaitQueue daemonWait;
+    std::unordered_map<uint64_t, PendingFetch *> pendingFetches;
+    bool started = false;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_PFA_PAGER_HH

@@ -1,0 +1,82 @@
+#include "pfa/remote_memory.hh"
+
+namespace firesim
+{
+
+std::vector<uint8_t>
+encodeRemoteMem(RemoteMemOp op, uint64_t page_id,
+                const std::vector<uint8_t> *data)
+{
+    std::vector<uint8_t> out;
+    out.reserve(9 + (data ? data->size() : 0));
+    out.push_back(static_cast<uint8_t>(op));
+    for (int shift = 56; shift >= 0; shift -= 8)
+        out.push_back(static_cast<uint8_t>(page_id >> shift));
+    if (data)
+        out.insert(out.end(), data->begin(), data->end());
+    return out;
+}
+
+bool
+decodeRemoteMemHeader(const std::vector<uint8_t> &payload, RemoteMemOp &op,
+                      uint64_t &page_id)
+{
+    if (payload.size() < 9)
+        return false;
+    op = static_cast<RemoteMemOp>(payload[0]);
+    page_id = 0;
+    for (int b = 1; b <= 8; ++b)
+        page_id = (page_id << 8) | payload[b];
+    return true;
+}
+
+void
+launchMemoryBlade(NodeSystem &node, MemBladeConfig cfg, MemBladeStats *out)
+{
+    node.os().spawn("membladed", -1, [&node, cfg, out]() -> Task<> {
+        UdpSocket sock(node.net(), cfg.port);
+        std::unordered_map<uint64_t, std::vector<uint8_t>> pages;
+        while (true) {
+            Datagram d = co_await sock.recv();
+            RemoteMemOp op;
+            uint64_t page_id;
+            if (!decodeRemoteMemHeader(d.data, op, page_id))
+                continue;
+            co_await node.os().cpu(cfg.serviceCycles);
+            switch (op) {
+              case RemoteMemOp::ReadReq: {
+                auto it = pages.find(page_id);
+                std::vector<uint8_t> zero;
+                const std::vector<uint8_t> *data;
+                if (it == pages.end()) {
+                    zero.assign(kPageBytes4k, 0);
+                    data = &zero;
+                } else {
+                    data = &it->second;
+                }
+                ++out->pageReads;
+                co_await sock.sendTo(
+                    d.srcIp, d.srcPort,
+                    encodeRemoteMem(RemoteMemOp::ReadResp, page_id, data));
+                break;
+              }
+              case RemoteMemOp::WriteReq: {
+                std::vector<uint8_t> &slot = pages[page_id];
+                if (slot.empty())
+                    ++out->storedPages;
+                slot.assign(d.data.begin() + 9, d.data.end());
+                ++out->pageWrites;
+                co_await sock.sendTo(
+                    d.srcIp, d.srcPort,
+                    encodeRemoteMem(RemoteMemOp::WriteAck, page_id,
+                                    nullptr));
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    });
+}
+
+} // namespace firesim

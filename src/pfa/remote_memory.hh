@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Disaggregated remote memory: the memory blade and page transfer
+ * protocol (paper Section VI).
+ *
+ * "The memory blade itself is implemented as another Rocket core
+ * running a bare-metal memory server accessed through a custom network
+ * protocol." Here the memory blade is a node whose server loop stores
+ * and serves 4 KiB pages over the simulated network; its per-request
+ * cost models the bare-metal handler. Page payloads require jumbo
+ * frames — PFA experiments configure the cluster MTU accordingly.
+ */
+
+#ifndef FIRESIM_PFA_REMOTE_MEMORY_HH
+#define FIRESIM_PFA_REMOTE_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "manager/cluster.hh"
+
+namespace firesim
+{
+
+/** Page size used by the paging experiments. */
+constexpr uint32_t kPageBytes4k = 4096;
+
+/** Remote-memory wire ops (first payload byte). */
+enum class RemoteMemOp : uint8_t
+{
+    ReadReq = 1,   //!< [op][pageId u64]
+    ReadResp = 2,  //!< [op][pageId u64][4 KiB data]
+    WriteReq = 3,  //!< [op][pageId u64][4 KiB data]
+    WriteAck = 4,  //!< [op][pageId u64]
+};
+
+/** UDP port the memory blade serves on. */
+constexpr uint16_t kMemBladePort = 9200;
+
+struct MemBladeConfig
+{
+    uint16_t port = kMemBladePort;
+    /** Bare-metal handler cost per request (~1 us). */
+    Cycles serviceCycles = 3200;
+};
+
+struct MemBladeStats
+{
+    uint64_t pageReads = 0;
+    uint64_t pageWrites = 0;
+    uint64_t storedPages = 0;
+};
+
+/** Spawn the memory-blade server on @p node; stats via @p out. */
+void launchMemoryBlade(NodeSystem &node, MemBladeConfig cfg,
+                       MemBladeStats *out);
+
+/** Encode/decode helpers shared with the pager. */
+std::vector<uint8_t> encodeRemoteMem(RemoteMemOp op, uint64_t page_id,
+                                     const std::vector<uint8_t> *data);
+bool decodeRemoteMemHeader(const std::vector<uint8_t> &payload,
+                           RemoteMemOp &op, uint64_t &page_id);
+
+} // namespace firesim
+
+#endif // FIRESIM_PFA_REMOTE_MEMORY_HH

@@ -1,0 +1,85 @@
+#include "pfa/workloads.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+/** Iterative quicksort segment walk (explicit stack: coroutines and
+ *  deep recursion do not mix well). */
+Task<>
+qsortBody(NodeSystem &node, RemotePager &pager, PfaWorkloadConfig cfg,
+          PfaWorkloadResult *out, Random rng)
+{
+    Cycles start = node.os().now();
+    std::vector<std::pair<uint64_t, uint64_t>> stack;
+    stack.emplace_back(0, cfg.pages);
+    while (!stack.empty()) {
+        auto [lo, hi] = stack.back();
+        stack.pop_back();
+        if (hi - lo <= cfg.qsortCutoffPages) {
+            // Segment fits comfortably in cache: model the in-memory
+            // sort as pure compute over its pages.
+            co_await node.os().cpu((hi - lo) * cfg.computeCycles);
+            continue;
+        }
+        // Partition pass: stream every page of the segment once,
+        // writing roughly writeFraction of them (swaps).
+        for (uint64_t p = lo; p < hi; ++p) {
+            co_await node.os().cpu(cfg.computeCycles);
+            bool write = rng.uniform() < cfg.writeFraction;
+            co_await pager.touch(p, write);
+            ++out->accesses;
+        }
+        uint64_t mid = lo + (hi - lo) / 2;
+        stack.emplace_back(lo, mid);
+        stack.emplace_back(mid, hi);
+    }
+    out->runtime = node.os().now() - start;
+    out->done = true;
+}
+
+Task<>
+genomeBody(NodeSystem &node, RemotePager &pager, PfaWorkloadConfig cfg,
+           PfaWorkloadResult *out, Random rng)
+{
+    Cycles start = node.os().now();
+    for (uint64_t i = 0; i < cfg.iterations; ++i) {
+        co_await node.os().cpu(cfg.computeCycles);
+        // De-novo assembly: k-mer hash probes land uniformly across
+        // the table — no locality for the pager to exploit.
+        uint64_t page = rng.below(cfg.pages);
+        bool write = rng.uniform() < cfg.writeFraction;
+        co_await pager.touch(page, write);
+        ++out->accesses;
+    }
+    out->runtime = node.os().now() - start;
+    out->done = true;
+}
+
+} // namespace
+
+void
+launchGenome(NodeSystem &node, RemotePager &pager, PfaWorkloadConfig cfg,
+             PfaWorkloadResult *out)
+{
+    node.os().spawn("genome", -1,
+                    [&node, &pager, cfg, out]() -> Task<> {
+                        return genomeBody(node, pager, cfg, out,
+                                          Random(cfg.seed));
+                    });
+}
+
+void
+launchQsort(NodeSystem &node, RemotePager &pager, PfaWorkloadConfig cfg,
+            PfaWorkloadResult *out)
+{
+    node.os().spawn("qsort", -1,
+                    [&node, &pager, cfg, out]() -> Task<> {
+                        return qsortBody(node, pager, cfg, out,
+                                         Random(cfg.seed));
+                    });
+}
+
+} // namespace firesim

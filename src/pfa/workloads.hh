@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Section VI workloads: Genome (de-novo assembly: random accesses
+ * into a large hash table) and Qsort (quicksort: mostly-sequential
+ * passes over shrinking regions with good locality). Both tuned, as in
+ * the paper, to a configurable peak memory footprint (64 MiB default).
+ */
+
+#ifndef FIRESIM_PFA_WORKLOADS_HH
+#define FIRESIM_PFA_WORKLOADS_HH
+
+#include "base/random.hh"
+#include "pfa/pager.hh"
+
+namespace firesim
+{
+
+struct PfaWorkloadConfig
+{
+    /** Working-set size in 4 KiB pages (16384 = 64 MiB). */
+    uint64_t pages = 16384;
+    /** Genome: number of hash-table probes. */
+    uint64_t iterations = 20000;
+    /** Application compute per access (genome) / per page (qsort). */
+    Cycles computeCycles = 16000;
+    /** Fraction of accesses that dirty the page. */
+    double writeFraction = 0.3;
+    /** Qsort: recursion stops below this many pages (fits in cache). */
+    uint64_t qsortCutoffPages = 64;
+    uint64_t seed = 5;
+};
+
+struct PfaWorkloadResult
+{
+    bool done = false;
+    Cycles runtime = 0;
+    uint64_t accesses = 0;
+};
+
+/** Genome assembly: random probes into a @p pages-page hash table. */
+void launchGenome(NodeSystem &node, RemotePager &pager,
+                  PfaWorkloadConfig cfg, PfaWorkloadResult *out);
+
+/** Quicksort over @p pages pages: partition passes over halving
+ *  segments; below the cutoff everything is cache-resident. */
+void launchQsort(NodeSystem &node, RemotePager &pager,
+                 PfaWorkloadConfig cfg, PfaWorkloadResult *out);
+
+} // namespace firesim
+
+#endif // FIRESIM_PFA_WORKLOADS_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Embedded RV64IM assembler.
+ *
+ * Emits machine code directly into a blade's memory; used by tests,
+ * examples, and the single-node benchmarks to author bare-metal
+ * programs without an external toolchain. Labels support forward
+ * references; finalize() patches them and must be called before
+ * execution.
+ */
+
+#ifndef FIRESIM_RISCV_ASSEMBLER_HH
+#define FIRESIM_RISCV_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/functional_memory.hh"
+#include "riscv/riscv.hh"
+
+namespace firesim
+{
+
+class Assembler
+{
+  public:
+    /** Opaque label handle. */
+    using Label = uint32_t;
+
+    /**
+     * @param memory where code is emitted (device address space)
+     * @param base core-view address of the first instruction
+     * @param dram_base core address that maps to memory offset 0
+     */
+    Assembler(FunctionalMemory &memory, uint64_t base,
+              uint64_t dram_base = memmap::kDramBase);
+
+    /** Current emission address (core view). */
+    uint64_t pc() const { return cur; }
+
+    Label newLabel();
+    /** Bind @p label to the current pc. */
+    void bind(Label label);
+    /** Resolve all forward references. Call once, after emitting. */
+    void finalize();
+
+    // ---- raw emitters -------------------------------------------------
+    void emit(uint32_t insn);
+
+    // ---- RV64I --------------------------------------------------------
+    void lui(Reg rd, int32_t imm20);
+    void auipc(Reg rd, int32_t imm20);
+    void jal(Reg rd, Label target);
+    void jalr(Reg rd, Reg rs1, int32_t imm);
+    void beq(Reg rs1, Reg rs2, Label t);
+    void bne(Reg rs1, Reg rs2, Label t);
+    void blt(Reg rs1, Reg rs2, Label t);
+    void bge(Reg rs1, Reg rs2, Label t);
+    void bltu(Reg rs1, Reg rs2, Label t);
+    void bgeu(Reg rs1, Reg rs2, Label t);
+    void lb(Reg rd, Reg rs1, int32_t imm);
+    void lh(Reg rd, Reg rs1, int32_t imm);
+    void lw(Reg rd, Reg rs1, int32_t imm);
+    void ld(Reg rd, Reg rs1, int32_t imm);
+    void lbu(Reg rd, Reg rs1, int32_t imm);
+    void lhu(Reg rd, Reg rs1, int32_t imm);
+    void lwu(Reg rd, Reg rs1, int32_t imm);
+    void sb(Reg rs2, Reg rs1, int32_t imm);
+    void sh(Reg rs2, Reg rs1, int32_t imm);
+    void sw(Reg rs2, Reg rs1, int32_t imm);
+    void sd(Reg rs2, Reg rs1, int32_t imm);
+    void addi(Reg rd, Reg rs1, int32_t imm);
+    void slti(Reg rd, Reg rs1, int32_t imm);
+    void sltiu(Reg rd, Reg rs1, int32_t imm);
+    void xori(Reg rd, Reg rs1, int32_t imm);
+    void ori(Reg rd, Reg rs1, int32_t imm);
+    void andi(Reg rd, Reg rs1, int32_t imm);
+    void slli(Reg rd, Reg rs1, uint32_t shamt);
+    void srli(Reg rd, Reg rs1, uint32_t shamt);
+    void srai(Reg rd, Reg rs1, uint32_t shamt);
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+    void addiw(Reg rd, Reg rs1, int32_t imm);
+    void slliw(Reg rd, Reg rs1, uint32_t shamt);
+    void srliw(Reg rd, Reg rs1, uint32_t shamt);
+    void sraiw(Reg rd, Reg rs1, uint32_t shamt);
+    void addw(Reg rd, Reg rs1, Reg rs2);
+    void subw(Reg rd, Reg rs1, Reg rs2);
+    void sllw(Reg rd, Reg rs1, Reg rs2);
+    void srlw(Reg rd, Reg rs1, Reg rs2);
+    void sraw(Reg rd, Reg rs1, Reg rs2);
+    void ecall();
+    void ebreak();
+    void fence();
+
+    // ---- RV64M --------------------------------------------------------
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void mulh(Reg rd, Reg rs1, Reg rs2);
+    void mulhsu(Reg rd, Reg rs1, Reg rs2);
+    void mulhu(Reg rd, Reg rs1, Reg rs2);
+    void div(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void rem(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+    void mulw(Reg rd, Reg rs1, Reg rs2);
+    void divw(Reg rd, Reg rs1, Reg rs2);
+    void divuw(Reg rd, Reg rs1, Reg rs2);
+    void remw(Reg rd, Reg rs1, Reg rs2);
+    void remuw(Reg rd, Reg rs1, Reg rs2);
+
+    // ---- RoCC (custom-0 / custom-1 opcode spaces) -----------------------
+    /** custom-0 R-type: funct7 command to the slot-0 accelerator. */
+    void custom0(uint32_t funct7, Reg rd, Reg rs1, Reg rs2);
+    /** custom-1 R-type: funct7 command to the slot-1 accelerator. */
+    void custom1(uint32_t funct7, Reg rd, Reg rs1, Reg rs2);
+
+    // ---- pseudo-instructions -------------------------------------------
+    /** Load an arbitrary 64-bit constant. */
+    void li(Reg rd, int64_t imm);
+    void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+    void nop() { addi(0, 0, 0); }
+    void ret() { jalr(0, regs::ra, 0); }
+    void j(Label t) { jal(0, t); }
+    /** Halt the core with @p code via the tohost device. */
+    void halt(Reg code_reg);
+
+  private:
+    struct Fixup
+    {
+        uint64_t at;   //!< address of the instruction to patch
+        Label label;
+        bool isJal;    //!< JAL vs branch encoding
+    };
+
+    void emitBranch(uint32_t funct3, Reg rs1, Reg rs2, Label t);
+    void patch(const Fixup &fixup, uint64_t target);
+    uint64_t toOffset(uint64_t core_addr) const;
+
+    FunctionalMemory &mem;
+    uint64_t dramBase;
+    uint64_t cur;
+    std::vector<uint64_t> labels; //!< bound addresses (kNoCycle=unbound)
+    std::vector<Fixup> fixups;
+    bool finalized = false;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_RISCV_ASSEMBLER_HH

@@ -1,0 +1,97 @@
+#include "riscv/nic_mmio.hh"
+
+namespace firesim
+{
+
+void
+mapNicMmio(MmioBus &bus, Nic &nic)
+{
+    auto read = [&nic](uint64_t offset, uint32_t) -> uint64_t {
+        switch (offset) {
+          case nicreg::kSendComp:
+            return nic.popSendComp() ? 1 : 0;
+          case nicreg::kRecvComp: {
+            auto comp = nic.popRecvComp();
+            if (!comp)
+                return nicreg::kEmpty;
+            return (static_cast<uint64_t>(comp->len) << 48) | comp->addr;
+          }
+          case nicreg::kCounts:
+            return (static_cast<uint64_t>(nic.sendCompPending()) << 16) |
+                   nic.recvCompPending();
+          case nicreg::kMacAddr:
+            return nic.mac().value;
+          default:
+            panic("read from write-only NIC register %llx",
+                  (unsigned long long)offset);
+        }
+    };
+    auto write = [&nic](uint64_t offset, uint64_t value, uint32_t) {
+        switch (offset) {
+          case nicreg::kSendReq: {
+            uint64_t addr = value & ((1ULL << 48) - 1);
+            uint32_t len = static_cast<uint32_t>(value >> 48);
+            nic.pushSendRequest(addr, len);
+            break;
+          }
+          case nicreg::kRecvReq:
+            nic.pushRecvRequest(value);
+            break;
+          case nicreg::kRateLimit:
+            nic.setRateLimit(value >> 32, value & 0xffffffffULL);
+            break;
+          default:
+            panic("write to read-only NIC register %llx",
+                  (unsigned long long)offset);
+        }
+    };
+    bus.map(memmap::kNicBase, nicreg::kWindowBytes, read, write, "nic");
+}
+
+void
+mapBlockDevMmio(MmioBus &bus, BlockDevice &dev)
+{
+    struct Regs
+    {
+        uint64_t memAddr = 0;
+        uint64_t sector = 0;
+        uint64_t count = 0;
+        uint64_t write = 0;
+    };
+    auto regs = std::make_shared<Regs>();
+
+    auto read = [&dev, regs](uint64_t offset, uint32_t) -> uint64_t {
+        switch (offset) {
+          case blkreg::kAlloc: {
+            auto id = dev.request(regs->write != 0, regs->memAddr,
+                                  static_cast<uint32_t>(regs->sector),
+                                  static_cast<uint32_t>(regs->count));
+            return id ? *id : blkreg::kEmpty;
+          }
+          case blkreg::kComplete: {
+            auto id = dev.popCompletion();
+            return id ? *id : blkreg::kEmpty;
+          }
+          case blkreg::kNTrackers:
+            return dev.config().trackers;
+          default:
+            panic("read from write-only blockdev register %llx",
+                  (unsigned long long)offset);
+        }
+    };
+    auto write = [regs](uint64_t offset, uint64_t value, uint32_t) {
+        switch (offset) {
+          case blkreg::kMemAddr: regs->memAddr = value; break;
+          case blkreg::kSector: regs->sector = value; break;
+          case blkreg::kCount: regs->count = value; break;
+          case blkreg::kWrite: regs->write = value; break;
+          default:
+            panic("write to read-only blockdev register %llx",
+                  (unsigned long long)offset);
+        }
+    };
+    bus.map(memmap::kBlkBase, blkreg::kWindowBytes, read, write,
+            "blockdev");
+}
+
+} // namespace firesim

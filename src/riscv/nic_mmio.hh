@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MMIO register windows exposing the NIC and block-device controllers
+ * to the RISC-V core, matching the paper's description of both
+ * devices' CPU interfaces (Sections III-A2, III-A3): request queues
+ * written through registers, completion queues read back, and an
+ * allocation register that hands out block-device tracker IDs.
+ *
+ * NIC window (offsets from memmap::kNicBase, 8-byte registers):
+ *   0x00 W  SENDREQ   (len << 48) | dma_addr — enqueue a send
+ *   0x08 W  RECVREQ   dma_addr — post a receive buffer
+ *   0x10 R  SENDCOMP  pop a send completion: 1, or 0 when empty
+ *   0x18 R  RECVCOMP  pop: (len << 48) | addr, or ~0 when empty
+ *   0x20 R  COUNTS    (send pending << 16) | recv pending
+ *   0x28 R  MACADDR   this NIC's MAC
+ *   0x30 W  RATELIMIT (k << 32) | p — runtime token-bucket setting
+ *
+ * Block-device window (offsets from memmap::kBlkBase):
+ *   0x00 W  MEMADDR   DMA address
+ *   0x08 W  SECTOR    first sector
+ *   0x10 W  COUNT     sector count
+ *   0x18 W  WRITE     nonzero = memory -> device
+ *   0x20 R  ALLOC     dispatch to a tracker; returns ID or ~0 if busy
+ *   0x28 R  COMPLETE  pop a completed tracker ID, ~0 when none
+ *   0x30 R  NTRACKERS tracker count
+ */
+
+#ifndef FIRESIM_RISCV_NIC_MMIO_HH
+#define FIRESIM_RISCV_NIC_MMIO_HH
+
+#include "blockdev/blockdev.hh"
+#include "nic/nic.hh"
+#include "riscv/core.hh"
+
+namespace firesim
+{
+
+namespace nicreg
+{
+constexpr uint64_t kSendReq = 0x00;
+constexpr uint64_t kRecvReq = 0x08;
+constexpr uint64_t kSendComp = 0x10;
+constexpr uint64_t kRecvComp = 0x18;
+constexpr uint64_t kCounts = 0x20;
+constexpr uint64_t kMacAddr = 0x28;
+constexpr uint64_t kRateLimit = 0x30;
+constexpr uint64_t kWindowBytes = 0x38;
+constexpr uint64_t kEmpty = ~0ULL;
+} // namespace nicreg
+
+namespace blkreg
+{
+constexpr uint64_t kMemAddr = 0x00;
+constexpr uint64_t kSector = 0x08;
+constexpr uint64_t kCount = 0x10;
+constexpr uint64_t kWrite = 0x18;
+constexpr uint64_t kAlloc = 0x20;
+constexpr uint64_t kComplete = 0x28;
+constexpr uint64_t kNTrackers = 0x30;
+constexpr uint64_t kWindowBytes = 0x38;
+constexpr uint64_t kEmpty = ~0ULL;
+} // namespace blkreg
+
+/** Map the NIC controller at memmap::kNicBase on @p bus. */
+void mapNicMmio(MmioBus &bus, Nic &nic);
+
+/** Map the block-device controller at memmap::kBlkBase on @p bus. */
+void mapBlockDevMmio(MmioBus &bus, BlockDevice &dev);
+
+} // namespace firesim
+
+#endif // FIRESIM_RISCV_NIC_MMIO_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RV64IM register names and shared definitions for the assembler and
+ * the core model.
+ *
+ * The paper's server blades are generated from Rocket Chip; this
+ * reproduction provides a cycle-level RV64IM Rocket-like core
+ * (core.hh) plus an embedded assembler (assembler.hh) so bare-metal
+ * programs can run cycle-exactly against the Table I cache/DRAM
+ * hierarchy and the blade's MMIO devices — the single-node
+ * microarchitectural-experimentation use case of Section VIII.
+ */
+
+#ifndef FIRESIM_RISCV_RISCV_HH
+#define FIRESIM_RISCV_RISCV_HH
+
+#include <cstdint>
+
+namespace firesim
+{
+
+/** Integer register index (x0..x31). */
+using Reg = uint8_t;
+
+namespace regs
+{
+constexpr Reg zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr Reg t0 = 5, t1 = 6, t2 = 7;
+constexpr Reg s0 = 8, s1 = 9;
+constexpr Reg a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+              a6 = 16, a7 = 17;
+constexpr Reg s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+              s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr Reg t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+} // namespace regs
+
+/** Default physical memory map of a simulated blade. */
+namespace memmap
+{
+/** DRAM base in the core's address space; devices see DRAM at 0. */
+constexpr uint64_t kDramBase = 0x80000000ULL;
+/** UART transmit register (write a byte). */
+constexpr uint64_t kUartTx = 0x54000000ULL;
+/** HTIF-style tohost: writing halts the core with an exit code. */
+constexpr uint64_t kTohost = 0x54000008ULL;
+/** NIC controller MMIO base (see nic_mmio.hh). */
+constexpr uint64_t kNicBase = 0x54001000ULL;
+/** Block device controller MMIO base. */
+constexpr uint64_t kBlkBase = 0x54002000ULL;
+} // namespace memmap
+
+} // namespace firesim
+
+#endif // FIRESIM_RISCV_RISCV_HH

@@ -1,0 +1,94 @@
+#include "riscv/rocc.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+HwachaModel::HwachaModel(HwachaConfig config, FunctionalMemory &memory)
+    : cfg(config), mem(memory)
+{
+    if (cfg.lanes == 0)
+        fatal("Hwacha needs at least one lane");
+    if (cfg.memBytesPerCycle <= 0.0)
+        fatal("Hwacha memory bandwidth must be positive");
+}
+
+Cycles
+HwachaModel::kernelLatency(uint64_t bytes_moved) const
+{
+    // Decoupled vector unit: startup, then the slower of lane
+    // throughput (one element per lane per cycle) and the memory
+    // system's bandwidth bound.
+    double lane_cycles =
+        static_cast<double>(vectorLen) / static_cast<double>(cfg.lanes);
+    double mem_cycles =
+        static_cast<double>(bytes_moved) / cfg.memBytesPerCycle;
+    return cfg.startupCycles +
+           static_cast<Cycles>(std::ceil(std::max(lane_cycles,
+                                                  mem_cycles)));
+}
+
+RoccResult
+HwachaModel::execute(uint32_t funct, uint64_t rs1, uint64_t rs2)
+{
+    RoccResult result;
+    switch (funct) {
+      case hwacha::kSetVlen:
+        vectorLen = rs1;
+        result.rd = vectorLen;
+        result.latency = 1;
+        return result;
+      case hwacha::kSetScalar:
+        scalarA = rs1;
+        result.latency = 1;
+        return result;
+      case hwacha::kReadBusy:
+        result.rd = busy;
+        result.latency = 1;
+        return result;
+      default:
+        break;
+    }
+
+    if (vectorLen == 0)
+        fatal("Hwacha kernel issued before vsetcfg");
+    uint64_t bytes = vectorLen * 8;
+    std::vector<uint64_t> buf(vectorLen);
+
+    switch (funct) {
+      case hwacha::kMemcpy: {
+        for (uint64_t i = 0; i < vectorLen; ++i)
+            buf[i] = mem.read64(rs2 + 8 * i);
+        for (uint64_t i = 0; i < vectorLen; ++i)
+            mem.write64(rs1 + 8 * i, buf[i]);
+        result.latency = kernelLatency(2 * bytes);
+        break;
+      }
+      case hwacha::kFill: {
+        for (uint64_t i = 0; i < vectorLen; ++i)
+            mem.write64(rs1 + 8 * i, rs2);
+        result.latency = kernelLatency(bytes);
+        break;
+      }
+      case hwacha::kSaxpy: {
+        // x[i] += a * y[i] over 64-bit integers.
+        for (uint64_t i = 0; i < vectorLen; ++i) {
+            uint64_t x = mem.read64(rs1 + 8 * i);
+            uint64_t y = mem.read64(rs2 + 8 * i);
+            mem.write64(rs1 + 8 * i, x + scalarA * y);
+        }
+        result.latency = kernelLatency(3 * bytes);
+        break;
+      }
+      default:
+        fatal("unknown Hwacha command funct=%u", funct);
+    }
+    busy += result.latency;
+    return result;
+}
+
+} // namespace firesim

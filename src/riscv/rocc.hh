@@ -1,0 +1,144 @@
+/**
+ * @file
+ * RoCC accelerator interface and the Hwacha-style vector unit
+ * (paper Table II and Section VIII).
+ *
+ * Rocket Chip attaches custom accelerators through the RoCC interface:
+ * the custom-0/custom-1 opcode spaces carry a funct7 command plus two
+ * source registers to the accelerator, which may respond into rd.
+ * FireSim simulates such accelerators cycle-exact alongside the SoC
+ * (Table II lists the paper's examples: the Page-Fault Accelerator,
+ * Hwacha, and HLS-generated units).
+ *
+ * Here the core forwards custom-0/1 instructions to an attached
+ * RoccAccelerator; the included HwachaModel implements a decoupled
+ * vector-fetch-style unit with configurable lanes that executes
+ * memcpy/fill/saxpy-class kernels against blade memory, with timing
+ * from a startup cost plus elements-per-lane-per-cycle throughput and
+ * a memory-bandwidth bound. An HlsAccelerator wrapper turns any C++
+ * callback plus a latency function into an attached accelerator — the
+ * software analogue of the paper's HLS-to-FAME-1 pass.
+ */
+
+#ifndef FIRESIM_RISCV_ROCC_HH
+#define FIRESIM_RISCV_ROCC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/units.hh"
+#include "mem/functional_memory.hh"
+#include "riscv/riscv.hh"
+
+namespace firesim
+{
+
+/** Result of one RoCC command. */
+struct RoccResult
+{
+    /** Cycles the core stalls for this command (blocking model). */
+    Cycles latency = 1;
+    /** Value written to rd (when the instruction names one). */
+    uint64_t rd = 0;
+};
+
+/** Anything attachable to the core's custom-0/custom-1 opcode space. */
+class RoccAccelerator
+{
+  public:
+    virtual ~RoccAccelerator() = default;
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute one command.
+     * @param funct funct7 field of the custom instruction
+     * @param rs1 value of rs1
+     * @param rs2 value of rs2
+     */
+    virtual RoccResult execute(uint32_t funct, uint64_t rs1,
+                               uint64_t rs2) = 0;
+};
+
+/** Hwacha commands (funct7 values). */
+namespace hwacha
+{
+/** vsetcfg: rs1 = vector length in elements. */
+constexpr uint32_t kSetVlen = 0;
+/** vmemcpy: rs1 = dst, rs2 = src (vlen 8-byte elements). */
+constexpr uint32_t kMemcpy = 1;
+/** vfill: rs1 = dst, rs2 = value. */
+constexpr uint32_t kFill = 2;
+/** vsaxpy: rs1 = dst/x ptr, rs2 = y ptr; dst[i] += a*y[i] with the
+ *  scalar a loaded via kSetScalar. Integer lanes (RV64IM blades). */
+constexpr uint32_t kSaxpy = 3;
+/** set the saxpy scalar: rs1 = a. */
+constexpr uint32_t kSetScalar = 4;
+/** read back cumulative busy cycles (performance counter). */
+constexpr uint32_t kReadBusy = 5;
+} // namespace hwacha
+
+struct HwachaConfig
+{
+    /** Vector lanes (elements processed per cycle at full tilt). */
+    uint32_t lanes = 4;
+    /** Fixed command-issue/startup cost in cycles. */
+    Cycles startupCycles = 20;
+    /** Memory system bandwidth available to the unit (bytes/cycle). */
+    double memBytesPerCycle = 16.0;
+};
+
+/** The Table II data-parallel vector accelerator, modeled. */
+class HwachaModel : public RoccAccelerator
+{
+  public:
+    HwachaModel(HwachaConfig config, FunctionalMemory &memory);
+
+    std::string name() const override { return "hwacha"; }
+    RoccResult execute(uint32_t funct, uint64_t rs1,
+                       uint64_t rs2) override;
+
+    uint64_t vlen() const { return vectorLen; }
+    Cycles busyCycles() const { return busy; }
+
+  private:
+    Cycles kernelLatency(uint64_t bytes_moved) const;
+
+    HwachaConfig cfg;
+    FunctionalMemory &mem;
+    uint64_t vectorLen = 0;
+    uint64_t scalarA = 1;
+    Cycles busy = 0;
+};
+
+/**
+ * An accelerator generated from a C++ callback — the software analogue
+ * of the paper's HLS-generated RoCC units ("a custom pass that can
+ * automatically transform Verilog generated from HLS tools into
+ * accelerators", Section VIII).
+ */
+class HlsAccelerator : public RoccAccelerator
+{
+  public:
+    using Kernel = std::function<RoccResult(uint32_t funct, uint64_t rs1,
+                                            uint64_t rs2)>;
+
+    HlsAccelerator(std::string name, Kernel kernel)
+        : label(std::move(name)), fn(std::move(kernel))
+    {}
+
+    std::string name() const override { return label; }
+    RoccResult
+    execute(uint32_t funct, uint64_t rs1, uint64_t rs2) override
+    {
+        return fn(funct, rs1, rs2);
+    }
+
+  private:
+    std::string label;
+    Kernel fn;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_RISCV_ROCC_HH

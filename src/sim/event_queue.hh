@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-node target-cycle event queue.
+ *
+ * In FireSim, each server blade is a FAME-1 transformed RTL design that
+ * advances one target cycle per set of I/O tokens. In this software
+ * reproduction, the inside of a blade is simulated event-driven for speed:
+ * an EventQueue holds (cycle, callback) pairs and a blade's advance()
+ * executes all events that fall inside the current token window. The
+ * observable I/O timing is identical to per-cycle execution because every
+ * externally visible action (a NIC flit, an MMIO response) carries an
+ * explicit cycle stamp.
+ */
+
+#ifndef FIRESIM_SIM_EVENT_QUEUE_HH
+#define FIRESIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace firesim
+{
+
+/**
+ * A deterministic discrete-event queue over target cycles.
+ *
+ * Ties are broken by insertion order, so a simulation is a pure function
+ * of its inputs regardless of std::priority_queue internals.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current target cycle. */
+    Cycles now() const { return curCycle; }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap.size(); }
+
+    /**
+     * Schedule @p fn at absolute cycle @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void
+    schedule(Cycles when, Callback fn)
+    {
+        if (when < curCycle)
+            panic("scheduling event at %llu before now=%llu",
+                  (unsigned long long)when, (unsigned long long)curCycle);
+        heap.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta cycles from now. */
+    void
+    scheduleIn(Cycles delta, Callback fn)
+    {
+        schedule(curCycle + delta, std::move(fn));
+    }
+
+    /**
+     * Execute every event with timestamp strictly below @p limit, in
+     * timestamp (then insertion) order, then set now() = @p limit.
+     * Events are allowed to schedule further events, including inside
+     * the window being drained.
+     */
+    void
+    runUntil(Cycles limit)
+    {
+        FS_ASSERT(limit >= curCycle, "runUntil moving backwards");
+        while (!heap.empty() && heap.top().when < limit) {
+            Entry top = heap.top();
+            heap.pop();
+            curCycle = top.when;
+            top.fn();
+        }
+        curCycle = limit;
+    }
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     * @return the cycle of the last executed event, or now() if none ran.
+     */
+    Cycles
+    drain(Cycles limit = kNoCycle)
+    {
+        Cycles last = curCycle;
+        while (!heap.empty() && heap.top().when < limit) {
+            Entry top = heap.top();
+            heap.pop();
+            curCycle = top.when;
+            last = top.when;
+            top.fn();
+        }
+        if (heap.empty() && limit != kNoCycle)
+            curCycle = limit;
+        return last;
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Cycle of the earliest pending event (kNoCycle when empty). */
+    Cycles
+    nextEventCycle() const
+    {
+        return heap.empty() ? kNoCycle : heap.top().when;
+    }
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Cycles curCycle = 0;
+    uint64_t nextSeq = 0;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,201 @@
+#include "switchmodel/switch.hh"
+
+#include <cstring>
+
+namespace firesim
+{
+
+Switch::Switch(SwitchConfig config)
+    : cfg(std::move(config))
+{
+    if (cfg.ports == 0)
+        fatal("switch '%s' needs at least one port", cfg.name.c_str());
+    assemblers.resize(cfg.ports);
+    outputs.resize(cfg.ports);
+}
+
+void
+Switch::addMacEntry(MacAddr mac, uint32_t port)
+{
+    if (port >= cfg.ports)
+        fatal("MAC entry for %s names port %u on a %u-port switch",
+              mac.str().c_str(), port, cfg.ports);
+    macTable[mac.value] = port;
+}
+
+std::optional<uint32_t>
+Switch::lookupMac(MacAddr mac) const
+{
+    auto it = macTable.find(mac.value);
+    if (it == macTable.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Switch::advance(Cycles window_start, Cycles window,
+                const std::vector<const TokenBatch *> &in,
+                std::vector<TokenBatch> &out)
+{
+    FS_ASSERT(in.size() == cfg.ports && out.size() == cfg.ports,
+              "switch %s handed %zu/%zu batches for %u ports",
+              cfg.name.c_str(), in.size(), out.size(), cfg.ports);
+    ingress(window_start, in);
+    switchingStep();
+    egress(window_start, window, out);
+}
+
+void
+Switch::ingress(Cycles window_start, const std::vector<const TokenBatch *> &in)
+{
+    // The paper runs this loop with one OpenMP thread per port; the
+    // per-port work is independent, so serial execution is equivalent.
+    for (uint32_t p = 0; p < cfg.ports; ++p) {
+        const TokenBatch &batch = *in[p];
+        FS_ASSERT(batch.start == window_start,
+                  "stale input batch at %s:%u", cfg.name.c_str(), p);
+        for (const Flit &flit : batch.flits) {
+            EthFrame frame;
+            if (assemblers[p].feed(flit, batch.absCycle(flit), frame)) {
+                ++stats_.packetsIn;
+                stats_.bytesIn += frame.size();
+                // Timestamp = arrival cycle of last token + minimum
+                // port-to-port switching latency (Section III-B1).
+                QueuedPacket qp;
+                qp.release = frame.timestamp + cfg.minLatency;
+                qp.seq = nextSeq++;
+                qp.frame = std::move(frame);
+                pending.push(std::move(qp));
+            }
+        }
+    }
+}
+
+void
+Switch::route(const EthFrame &frame, std::vector<uint32_t> &out_ports) const
+{
+    MacAddr dst = frame.dst();
+    if (!dst.isBroadcast()) {
+        auto port = lookupMac(dst);
+        if (port) {
+            out_ports.push_back(*port);
+            return;
+        }
+        // Unknown unicast: flood, like a learning switch without an
+        // entry. The manager always fully populates tables, so this
+        // path only triggers in hand-built experiments.
+    }
+    for (uint32_t p = 0; p < cfg.ports; ++p)
+        out_ports.push_back(p);
+}
+
+void
+Switch::insertInQueue(OutputPort &port, QueuedPacket &&packet)
+{
+    port.queue.push_back(std::move(packet));
+}
+
+void
+Switch::switchingStep()
+{
+    // Drain the timestamp-sorted priority queue into output port
+    // buffers via the forwarding policy (default: static MAC table,
+    // duplicating for broadcast/flood).
+    std::vector<uint32_t> out_ports;
+    while (!pending.empty()) {
+        QueuedPacket qp = pending.top();
+        pending.pop();
+        out_ports.clear();
+        route(qp.frame, out_ports);
+        if (qp.frame.dst().isBroadcast())
+            ++stats_.broadcasts;
+        for (uint32_t p : out_ports)
+            enqueueOutput(p, qp.frame, qp.release, qp.seq);
+    }
+}
+
+void
+Switch::enqueueOutput(uint32_t port, const EthFrame &frame, Cycles release,
+                      uint64_t seq)
+{
+    FS_ASSERT(port < cfg.ports, "route() returned port %u of %u", port,
+              cfg.ports);
+    QueuedPacket qp;
+    qp.frame = frame;
+    qp.release = release;
+    qp.seq = seq;
+    insertInQueue(outputs[port], std::move(qp));
+}
+
+void
+Switch::egress(Cycles window_start, Cycles window, std::vector<TokenBatch> &out)
+{
+    Cycles window_end = window_start + window;
+    for (uint32_t p = 0; p < cfg.ports; ++p) {
+        OutputPort &port = outputs[p];
+        if (port.cursor < window_start)
+            port.cursor = window_start;
+
+        while (port.cursor < window_end) {
+            if (!port.active) {
+                if (port.queue.empty())
+                    break;
+                QueuedPacket &head = port.queue.front();
+                if (head.release >= window_end) {
+                    // Cannot release anything more this window.
+                    break;
+                }
+                Cycles start = std::max(port.cursor, head.release);
+                // Finite buffering: a packet that has waited longer than
+                // the drop bound past its release time is discarded.
+                if (start > head.release + cfg.dropBound) {
+                    ++stats_.packetsDropped;
+                    port.queue.pop_front();
+                    continue;
+                }
+                port.cursor = start;
+                port.active = std::move(head);
+                port.activePos = 0;
+                port.queue.pop_front();
+            }
+
+            // Emit one token per cycle until the window closes or the
+            // packet completes.
+            const std::vector<uint8_t> &bytes = port.active->frame.bytes;
+            while (port.cursor < window_end && port.activePos < bytes.size()) {
+                Flit flit;
+                size_t take =
+                    std::min<size_t>(kFlitBytes, bytes.size() - port.activePos);
+                std::memcpy(flit.data.data(), bytes.data() + port.activePos,
+                            take);
+                flit.size = static_cast<uint8_t>(take);
+                port.activePos += take;
+                flit.last = port.activePos >= bytes.size();
+                flit.offset = static_cast<uint32_t>(port.cursor - window_start);
+                out[p].push(flit);
+                ++port.cursor;
+            }
+
+            if (port.activePos >= bytes.size()) {
+                ++stats_.packetsOut;
+                stats_.bytesOut += bytes.size();
+                bytesOutSinceQuery += bytes.size();
+                port.active.reset();
+                port.activePos = 0;
+            } else {
+                // Window full; resume this packet next round.
+                break;
+            }
+        }
+    }
+}
+
+uint64_t
+Switch::takeBytesOutDelta()
+{
+    uint64_t delta = bytesOutSinceQuery;
+    bytesOutSinceQuery = 0;
+    return delta;
+}
+
+} // namespace firesim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "apps/boot.hh"
+#include "manager/cluster.hh"
+#include "manager/topology.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(BootWorkload, BootsAndPowersDown)
+{
+    ClusterConfig cc;
+    Cluster cluster(topologies::singleTor(2), cc);
+    BootConfig bc;
+    bc.kernelSectors = 512;
+    bc.fsMetadataSectors = 64;
+    bc.initCyclesPerCore = 100000;
+    BootResult result;
+    launchBootWorkload(cluster.node(0), bc, &result);
+    for (int i = 0; i < 200 && !result.poweredDown; ++i)
+        cluster.runUs(1000.0);
+    ASSERT_TRUE(result.poweredDown);
+    EXPECT_GT(result.bootCycles, bc.initCyclesPerCore);
+    // The image actually came off the block device.
+    EXPECT_GE(cluster.node(0).blade().blockDevice().stats().reads.value(),
+              (512u + 64u) / 256u);
+}
+
+TEST(BootWorkload, BiggerImageBootsSlower)
+{
+    auto boot_cycles = [](uint32_t kernel_sectors) {
+        ClusterConfig cc;
+        Cluster cluster(topologies::singleTor(1), cc);
+        BootConfig bc;
+        bc.kernelSectors = kernel_sectors;
+        bc.fsMetadataSectors = 64;
+        bc.initCyclesPerCore = 50000;
+        BootResult result;
+        launchBootWorkload(cluster.node(0), bc, &result);
+        for (int i = 0; i < 500 && !result.poweredDown; ++i)
+            cluster.runUs(1000.0);
+        EXPECT_TRUE(result.poweredDown);
+        return result.bootCycles;
+    };
+    EXPECT_GT(boot_cycles(4096), boot_cycles(512));
+}
+
+TEST(BootWorkload, AllCoresParticipate)
+{
+    ClusterConfig cc;
+    Cluster cluster(topologies::singleTor(1), cc);
+    BootConfig bc;
+    bc.kernelSectors = 256;
+    bc.fsMetadataSectors = 64;
+    bc.initCyclesPerCore = 400000;
+    BootResult result;
+    launchBootWorkload(cluster.node(0), bc, &result);
+    for (int i = 0; i < 300 && !result.poweredDown; ++i)
+        cluster.runUs(1000.0);
+    ASSERT_TRUE(result.poweredDown);
+    // 4 cores x initCyclesPerCore of CPU work happened...
+    EXPECT_GE(cluster.node(0).os().busyCycles(), 4u * 400000u);
+    // ...but the three secondary harts initialized in parallel: wall
+    // time is loader + 2x init (boot core, then secondaries together),
+    // comfortably below the serialized loader + 4x init (~2.4M cycles).
+    EXPECT_LT(result.bootCycles, 2000000u);
+}
+
+} // namespace
+} // namespace firesim

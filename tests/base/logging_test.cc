@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Logging, CsprintfFormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(csprintf("%.3f", 1.5), "1.500");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Logging, CsprintfHandlesLongStrings)
+{
+    std::string big(5000, 'a');
+    std::string out = csprintf("%s!", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 1);
+    EXPECT_EQ(out.back(), '!');
+}
+
+TEST(Logging, SetLogLevelReturnsPrevious)
+{
+    LogLevel orig = setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(setLogLevel(LogLevel::Debug), LogLevel::Quiet);
+    EXPECT_EQ(setLogLevel(orig), LogLevel::Debug);
+    EXPECT_EQ(logLevel(), orig);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertMacroFiresWithMessage)
+{
+    EXPECT_DEATH(FS_ASSERT(1 == 2, "value was %d", 3), "value was 3");
+}
+
+TEST(Logging, AssertMacroPassesSilently)
+{
+    FS_ASSERT(2 + 2 == 4, "math broke");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Random, SameSeedSameSequence)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ReseedRestartsStream)
+{
+    Random a(42);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(42);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Random, BelowStaysInBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Random, RangeIsInclusive)
+{
+    Random r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = r.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        hit_lo |= (v == 3);
+        hit_hi |= (v == 6);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, ExponentialHasRequestedMean)
+{
+    Random r(13);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.exponential(250.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Random, ChanceMatchesProbability)
+{
+    Random r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(Histogram, PercentilesOnKnownData)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(h.percentile(95), 95.05, 1e-9);
+}
+
+TEST(Histogram, PercentileUnaffectedBySampleOrder)
+{
+    Histogram a, b;
+    for (int i = 0; i < 50; ++i)
+        a.sample(i);
+    for (int i = 49; i >= 0; --i)
+        b.sample(i);
+    for (double p : {10.0, 50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(Histogram, SamplingAfterQueryStillWorks)
+{
+    Histogram h;
+    h.sample(10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+    h.sample(20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 20.0);
+}
+
+TEST(HistogramDeath, PercentileRangeChecked)
+{
+    Histogram h;
+    h.sample(1.0);
+    EXPECT_DEATH(h.percentile(101.0), "out of range");
+}
+
+TEST(RunningStat, TracksWithoutRetainingSamples)
+{
+    RunningStat s;
+    for (double v : {5.0, 15.0, 10.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 15.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "base/table.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "qps"});
+    t.addRow({"cross-tor", "4691888"});
+    t.addRow({"cross-agg", "4492745"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("cross-tor"), std::string::npos);
+    EXPECT_NE(out.find("4492745"), std::string::npos);
+    // header, separator, two rows
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t({"a", "long-header"});
+    t.addRow({"wide-cell-content", "1"});
+    std::string out = t.render();
+    size_t first_nl = out.find('\n');
+    size_t second_nl = out.find('\n', first_nl + 1);
+    size_t third_nl = out.find('\n', second_nl + 1);
+    std::string header = out.substr(0, first_nl);
+    std::string row = out.substr(second_nl + 1, third_nl - second_nl - 1);
+    // The second column starts at the same offset in header and row.
+    EXPECT_EQ(header.find("long-header"), row.find("1"));
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmt(1.5, 3), "1.500");
+}
+
+TEST(TableDeath, RowArityChecked)
+{
+    Table t({"x", "y"});
+    EXPECT_EXIT(t.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "cells");
+}
+
+TEST(TableDeath, EmptyHeaderRejected)
+{
+    EXPECT_EXIT(Table({}), ::testing::ExitedWithCode(1), "column");
+}
+
+} // namespace
+} // namespace firesim

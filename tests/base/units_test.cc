@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Units, DefaultClockIsPaperFrequency)
+{
+    TargetClock clk;
+    EXPECT_DOUBLE_EQ(clk.frequencyGhz(), 3.2);
+}
+
+TEST(Units, CyclesFromTime)
+{
+    TargetClock clk(3.2);
+    // 2 us at 3.2 GHz = 6400 cycles (the paper's standard link latency).
+    EXPECT_EQ(clk.cyclesFromUs(2.0), 6400u);
+    EXPECT_EQ(clk.cyclesFromNs(1.0), 3u); // 3.2 rounded
+    EXPECT_EQ(clk.cyclesFromNs(0.0), 0u);
+}
+
+TEST(Units, TimeFromCycles)
+{
+    TargetClock clk(3.2);
+    EXPECT_DOUBLE_EQ(clk.usFromCycles(6400), 2.0);
+    EXPECT_NEAR(clk.nsFromCycles(32), 10.0, 1e-9);
+}
+
+TEST(Units, RoundTripIsStable)
+{
+    TargetClock clk(3.2);
+    for (double us : {0.5, 1.0, 2.0, 5.0, 10.0, 100.0}) {
+        Cycles c = clk.cyclesFromUs(us);
+        EXPECT_NEAR(clk.usFromCycles(c), us, 1e-3) << "us=" << us;
+    }
+}
+
+TEST(Units, BitsPerCycleMatchesPaperTokenWidth)
+{
+    TargetClock clk(3.2);
+    // 200 Gbit/s at 3.2 GHz = 62.5 bits per cycle; the paper sizes the
+    // token payload at 64 bits to cover it.
+    EXPECT_DOUBLE_EQ(clk.bitsPerCycle(200.0), 62.5);
+    EXPECT_LE(clk.bitsPerCycle(200.0), 64.0);
+}
+
+TEST(UnitsDeath, NonPositiveFrequencyIsFatal)
+{
+    EXPECT_EXIT(TargetClock(-1.0), ::testing::ExitedWithCode(1),
+                "frequency");
+}
+
+TEST(Units, ByteSuffixes)
+{
+    EXPECT_EQ(16 * KiB, 16384u);
+    EXPECT_EQ(MiB, 1048576u);
+    EXPECT_EQ(16 * GiB, 17179869184ull);
+}
+
+} // namespace
+} // namespace firesim

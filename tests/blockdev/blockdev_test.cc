@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "blockdev/blockdev.hh"
+
+namespace firesim
+{
+namespace
+{
+
+struct BlockDevFixture : public ::testing::Test
+{
+    BlockDevFixture() : mem(16 * MiB) {}
+
+    void
+    boot(BlockDevConfig cfg = BlockDevConfig{})
+    {
+        dev = std::make_unique<BlockDevice>(cfg, eq, mem);
+    }
+
+    EventQueue eq;
+    FunctionalMemory mem;
+    std::unique_ptr<BlockDevice> dev;
+};
+
+TEST_F(BlockDevFixture, WriteThenReadRoundTrip)
+{
+    boot();
+    std::vector<uint8_t> data(2 * kSectorBytes);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 3);
+    mem.write(0x1000, data.data(), data.size());
+
+    auto wid = dev->request(true, 0x1000, 10, 2);
+    ASSERT_TRUE(wid.has_value());
+    eq.drain();
+    EXPECT_EQ(dev->popCompletion(), wid);
+
+    auto rid = dev->request(false, 0x9000, 10, 2);
+    ASSERT_TRUE(rid.has_value());
+    eq.drain();
+    EXPECT_EQ(dev->popCompletion(), rid);
+
+    std::vector<uint8_t> out(data.size());
+    mem.read(0x9000, out.data(), out.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(dev->stats().writes.value(), 1u);
+    EXPECT_EQ(dev->stats().reads.value(), 1u);
+    EXPECT_EQ(dev->stats().sectorsMoved.value(), 4u);
+}
+
+TEST_F(BlockDevFixture, UnalignedMemoryAddressesAllowed)
+{
+    boot();
+    std::vector<uint8_t> data(kSectorBytes, 0x77);
+    mem.write(0x1003, data.data(), data.size()); // unaligned in memory
+    auto id = dev->request(true, 0x1003, 0, 1);
+    ASSERT_TRUE(id.has_value());
+    eq.drain();
+    std::vector<uint8_t> out(kSectorBytes);
+    dev->readImage(0, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(BlockDevFixture, TrackersAllowConcurrency)
+{
+    BlockDevConfig cfg;
+    cfg.trackers = 2;
+    boot(cfg);
+    auto a = dev->request(false, 0x1000, 0, 1);
+    auto b = dev->request(false, 0x2000, 1, 1);
+    auto c = dev->request(false, 0x3000, 2, 1);
+    EXPECT_TRUE(a.has_value());
+    EXPECT_TRUE(b.has_value());
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(c.has_value()); // both trackers busy
+    eq.drain();
+    EXPECT_TRUE(dev->popCompletion().has_value());
+    EXPECT_TRUE(dev->popCompletion().has_value());
+    EXPECT_FALSE(dev->popCompletion().has_value());
+}
+
+TEST_F(BlockDevFixture, LatencyScalesWithProfile)
+{
+    BlockDevConfig ssd;
+    ssd.timing = StorageTimingProfile::ssd();
+    boot(ssd);
+    dev->request(false, 0x1000, 0, 1);
+    Cycles ssd_done = eq.drain();
+
+    EventQueue eq2;
+    BlockDevConfig disk;
+    disk.timing = StorageTimingProfile::disk();
+    BlockDevice slow(disk, eq2, mem);
+    slow.request(false, 0x1000, 0, 1);
+    Cycles disk_done = eq2.drain();
+
+    EXPECT_GT(disk_done, 10 * ssd_done);
+}
+
+TEST_F(BlockDevFixture, XpointFasterThanSsd)
+{
+    EXPECT_LT(StorageTimingProfile::xpoint().accessLatency,
+              StorageTimingProfile::ssd().accessLatency);
+    EXPECT_GT(StorageTimingProfile::xpoint().bytesPerCycle,
+              StorageTimingProfile::ssd().bytesPerCycle);
+}
+
+TEST_F(BlockDevFixture, InterruptFiresOnCompletion)
+{
+    boot();
+    int irq = 0;
+    dev->setInterruptHandler([&] { ++irq; });
+    dev->request(false, 0x1000, 0, 1);
+    eq.drain();
+    EXPECT_EQ(irq, 1);
+}
+
+TEST_F(BlockDevFixture, ImageAccessors)
+{
+    boot();
+    std::vector<uint8_t> img(1024, 0x42);
+    dev->writeImage(5, img.data(), img.size());
+    std::vector<uint8_t> out(1024);
+    dev->readImage(5, out.data(), out.size());
+    EXPECT_EQ(out, img);
+}
+
+TEST_F(BlockDevFixture, OutOfRangeTransferIsFatal)
+{
+    BlockDevConfig cfg;
+    cfg.sectors = 100;
+    boot(cfg);
+    EXPECT_EXIT(dev->request(false, 0x1000, 99, 2),
+                ::testing::ExitedWithCode(1), "beyond device end");
+}
+
+TEST_F(BlockDevFixture, ZeroLengthTransferIsFatal)
+{
+    boot();
+    EXPECT_EXIT(dev->request(false, 0x1000, 0, 0),
+                ::testing::ExitedWithCode(1), "zero-length");
+}
+
+} // namespace
+} // namespace firesim

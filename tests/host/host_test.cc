@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "host/deployment.hh"
+#include "host/perf_model.hh"
+#include "manager/topology.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Deployment, PaperDatacenterMapping)
+{
+    // Section V-C: 1024 nodes in supernode mode -> 256 FPGAs on 32
+    // f1.16xlarge, plus 5 m4.16xlarge for 4 aggs + 1 root.
+    SwitchSpec topo = topologies::threeLevel(4, 8, 32);
+    DeploymentPlan plan = planDeployment(topo, true);
+    EXPECT_EQ(plan.servers, 1024u);
+    EXPECT_EQ(plan.fpgas, 256u);
+    EXPECT_EQ(plan.f1_16xlarge, 32u);
+    EXPECT_EQ(plan.m4_16xlarge, 5u);
+    EXPECT_EQ(plan.torSwitches, 32u);
+}
+
+TEST(Deployment, PaperCostFigures)
+{
+    SwitchSpec topo = topologies::threeLevel(4, 8, 32);
+    DeploymentPlan plan = planDeployment(topo, true);
+    // ~$100/hour spot, ~$440/hour on-demand, $12.8M of FPGAs.
+    EXPECT_NEAR(plan.spotPerHour(), 100.0, 5.0);
+    EXPECT_NEAR(plan.onDemandPerHour(), 440.0, 5.0);
+    EXPECT_DOUBLE_EQ(plan.fpgaCapex(), 12800000.0);
+}
+
+TEST(Deployment, StandardModeQuadruplesFpgas)
+{
+    SwitchSpec topo = topologies::threeLevel(4, 8, 32);
+    DeploymentPlan std_plan = planDeployment(topo, false);
+    DeploymentPlan super_plan = planDeployment(topo, true);
+    EXPECT_EQ(std_plan.fpgas, 4u * super_plan.fpgas);
+    EXPECT_GT(std_plan.onDemandPerHour(), super_plan.onDemandPerHour());
+}
+
+TEST(Deployment, SmallSimulationsUseF1_2xlarge)
+{
+    SwitchSpec topo = topologies::singleTor(1);
+    DeploymentPlan plan = planDeployment(topo, false);
+    EXPECT_EQ(plan.f1_2xlarge, 1u);
+    EXPECT_EQ(plan.f1_16xlarge, 0u);
+    EXPECT_EQ(plan.m4_16xlarge, 0u);
+}
+
+TEST(Deployment, UtilizationConstantsFromPaper)
+{
+    EXPECT_DOUBLE_EQ(FpgaUtilization::kSingleNodeLuts, 0.326);
+    EXPECT_DOUBLE_EQ(FpgaUtilization::kSingleNodeBladeLuts, 0.144);
+    EXPECT_DOUBLE_EQ(FpgaUtilization::kSupernodeBladeLuts, 0.577);
+    EXPECT_DOUBLE_EQ(FpgaUtilization::kSupernodeTotalLuts, 0.76);
+}
+
+TEST(PerfModel, HitsThePaper1024NodeAnchor)
+{
+    // Headline result: 1024 nodes, 2 us / 200 Gbit/s network, simulated
+    // at 3.42 MHz (< 1000x slowdown over real time).
+    SwitchSpec topo = topologies::threeLevel(4, 8, 32);
+    DeploymentPlan plan = planDeployment(topo, true);
+    SimRateEstimate est = estimateSimRate(topo, plan, 6400, 3.2);
+    EXPECT_NEAR(est.targetMhz, 3.42, 0.5);
+    EXPECT_LT(est.slowdown(3.2), 1000.0);
+}
+
+TEST(PerfModel, RateFallsWithScale)
+{
+    // Figure 8's qualitative shape.
+    double prev = 1e9;
+    for (uint32_t tors : {1u, 2u, 4u, 8u}) {
+        SwitchSpec topo = tors == 1 ? topologies::singleTor(8)
+                                    : topologies::twoLevel(tors, 8);
+        DeploymentPlan plan = planDeployment(topo, false);
+        SimRateEstimate est = estimateSimRate(topo, plan, 6400, 3.2);
+        EXPECT_LT(est.targetMhz, prev) << tors;
+        prev = est.targetMhz;
+    }
+}
+
+TEST(PerfModel, RateRisesWithLinkLatency)
+{
+    // Figure 9's qualitative shape: larger batches amortize fixed
+    // transport costs.
+    SwitchSpec topo = topologies::twoLevel(8, 8);
+    DeploymentPlan plan = planDeployment(topo, false);
+    double prev = 0.0;
+    for (Cycles lat : {320u, 960u, 3200u, 6400u, 16000u, 32000u}) {
+        SimRateEstimate est = estimateSimRate(topo, plan, lat, 3.2);
+        EXPECT_GT(est.targetMhz, prev) << lat;
+        prev = est.targetMhz;
+    }
+}
+
+TEST(PerfModel, SupernodePaysPcieMultiplexingAtSmallScale)
+{
+    // Fig. 8: at equal node count the supernode config is somewhat
+    // slower (4 nodes share one PCIe link) but needs 4x fewer hosts.
+    SwitchSpec topo1 = topologies::singleTor(8);
+    DeploymentPlan std_plan = planDeployment(topo1, false);
+    SwitchSpec topo2 = topologies::singleTor(8);
+    DeploymentPlan super_plan = planDeployment(topo2, true);
+    SimRateEstimate std_est = estimateSimRate(topo1, std_plan, 6400, 3.2);
+    SimRateEstimate sup_est = estimateSimRate(topo2, super_plan, 6400, 3.2);
+    EXPECT_LE(sup_est.targetMhz, std_est.targetMhz);
+    EXPECT_LT(super_plan.fpgas, std_plan.fpgas);
+}
+
+TEST(PerfModel, ReportsBottleneckBreakdown)
+{
+    SwitchSpec topo = topologies::threeLevel(4, 8, 32);
+    DeploymentPlan plan = planDeployment(topo, true);
+    SimRateEstimate est = estimateSimRate(topo, plan, 6400, 3.2);
+    EXPECT_GT(est.bottleneckComputeUs, 0.0);
+    EXPECT_GT(est.bottleneckTransportUs, 0.0);
+    EXPECT_GE(est.roundUs,
+              est.bottleneckComputeUs + est.bottleneckTransportUs);
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the Section VII/VIII features: functional-network mode,
+ * the BOOM core configuration, and FAME-5 host multithreading.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/deployment.hh"
+#include "host/perf_model.hh"
+#include "manager/cluster.hh"
+#include "manager/topology.hh"
+#include "riscv/assembler.hh"
+#include "riscv/core.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(FunctionalNetwork, FramesStillFlow)
+{
+    // Section VII: purely functional networking still transports
+    // Ethernet frames; only the timing is coarse.
+    LogLevel prev = setLogLevel(LogLevel::Quiet);
+    ClusterConfig cc;
+    cc.functionalWindow = 64000; // 20 us windows
+    Cluster cluster(topologies::singleTor(4), cc);
+    setLogLevel(prev);
+
+    bool replied = false;
+    NodeSystem &server = cluster.node(0);
+    NodeSystem &client = cluster.node(1);
+    server.os().spawn("srv", -1, [&]() -> Task<> {
+        UdpSocket sock(server.net(), 9);
+        while (true) {
+            Datagram d = co_await sock.recv();
+            co_await sock.sendTo(d.srcIp, d.srcPort, d.data);
+        }
+    });
+    client.os().spawn("cli", -1, [&]() -> Task<> {
+        UdpSocket sock(client.net(), 10);
+        std::vector<uint8_t> msg = {42};
+        co_await sock.sendTo(Cluster::ipFor(0), 9, msg);
+        Datagram d = co_await sock.recv();
+        replied = d.data == msg;
+        while (true)
+            co_await client.os().sleepFor(1000000);
+    });
+    cluster.runUs(1000.0);
+    EXPECT_TRUE(replied);
+}
+
+TEST(FunctionalNetwork, CutsHostRoundsByWindowRatio)
+{
+    // The point of the mode: far fewer host batch exchanges per cycle.
+    auto batches_for = [](Cycles functional_window) {
+        LogLevel prev = setLogLevel(LogLevel::Quiet);
+        ClusterConfig cc;
+        cc.functionalWindow = functional_window;
+        Cluster cluster(topologies::singleTor(4), cc);
+        setLogLevel(prev);
+        cluster.run(640000);
+        return cluster.fabric().batchesMoved();
+    };
+    uint64_t exact = batches_for(0);       // 2 us = 6400-cycle batches
+    uint64_t loose = batches_for(64000);   // 10x bigger windows
+    EXPECT_GE(exact, 9 * loose); // ~10x fewer exchanges
+}
+
+TEST(FunctionalNetwork, QuantizesRttToWindow)
+{
+    LogLevel prev = setLogLevel(LogLevel::Quiet);
+    ClusterConfig cc;
+    cc.functionalWindow = 320000; // 100 us windows
+    Cluster cluster(topologies::singleTor(2), cc);
+    setLogLevel(prev);
+    Cycles rtt = 0;
+    NodeSystem &a = cluster.node(0);
+    a.os().spawn("ping", -1, [&]() -> Task<> {
+        rtt = co_await a.net().ping(Cluster::ipFor(1));
+    });
+    cluster.runUs(5000.0);
+    // RTT is now dominated by 4 window crossings, not the real 2 us
+    // latency: accuracy traded for speed, as documented.
+    EXPECT_GE(rtt, 4u * 320000u);
+}
+
+TEST(BoomCore, HigherIpcOnStraightLineCode)
+{
+    auto run_kernel = [](CoreConfig cfg) {
+        FunctionalMemory mem(16 * MiB);
+        MemHierarchy hier(1);
+        RocketCore core(cfg, mem, hier, nullptr);
+        Assembler a(mem, memmap::kDramBase);
+        using namespace regs;
+        a.li(t0, 20000);
+        Assembler::Label loop = a.newLabel();
+        a.bind(loop);
+        for (int i = 0; i < 30; ++i)
+            a.addi(a0, a0, 1);
+        a.addi(t0, t0, -1);
+        a.bne(t0, zero, loop);
+        a.ecall(); // halt with a0 (no MMIO bus in this fixture)
+        a.finalize();
+        auto r = core.run();
+        return static_cast<double>(r.instret) / r.cycles; // IPC
+    };
+    double rocket_ipc = run_kernel(CoreConfig{});
+    double boom_ipc = run_kernel(CoreConfig::boom());
+    EXPECT_GT(boom_ipc, 1.4 * rocket_ipc);
+    EXPECT_GT(boom_ipc, 1.0); // genuinely superscalar
+}
+
+TEST(BoomCore, SameArchitecturalResults)
+{
+    // Timing config must not change functional behaviour.
+    auto run_kernel = [](CoreConfig cfg) {
+        FunctionalMemory mem(16 * MiB);
+        MemHierarchy hier(1);
+        RocketCore core(cfg, mem, hier, nullptr);
+        Assembler a(mem, memmap::kDramBase);
+        using namespace regs;
+        a.li(a0, 1);
+        a.li(a1, 1);
+        a.li(t0, 30);
+        Assembler::Label loop = a.newLabel();
+        a.bind(loop);
+        a.add(a2, a0, a1); // fibonacci
+        a.mv(a0, a1);
+        a.mv(a1, a2);
+        a.addi(t0, t0, -1);
+        a.bne(t0, zero, loop);
+        a.mv(a0, a1);
+        a.ecall(); // halt with a0 (no MMIO bus in this fixture)
+        a.finalize();
+        return core.run().exitCode;
+    };
+    EXPECT_EQ(run_kernel(CoreConfig{}), run_kernel(CoreConfig::boom()));
+}
+
+TEST(Fame5, PacksMoreNodesPerFpga)
+{
+    SwitchSpec topo = topologies::twoLevel(8, 32); // 256 nodes
+    DeploymentPlan fame1 = planDeployment(topo, true, 1);
+    DeploymentPlan fame5 = planDeployment(topo, true, 4);
+    EXPECT_EQ(fame1.fpgas, 64u);
+    EXPECT_EQ(fame5.fpgas, 16u);
+    EXPECT_LT(fame5.onDemandPerHour(), fame1.onDemandPerHour());
+}
+
+TEST(Fame5, TradesSimulationRateForDensity)
+{
+    // "at the cost of simulation performance" (Section VIII).
+    SwitchSpec topo = topologies::singleTor(8);
+    DeploymentPlan fame1 = planDeployment(topo, false, 1);
+    DeploymentPlan fame5 = planDeployment(topo, false, 4);
+    SimRateEstimate r1 = estimateSimRate(topo, fame1, 6400, 3.2);
+    SimRateEstimate r5 = estimateSimRate(topo, fame5, 6400, 3.2);
+    EXPECT_LT(r5.targetMhz, r1.targetMhz);
+}
+
+TEST(Fame5Death, ZeroThreadsRejected)
+{
+    SwitchSpec topo = topologies::singleTor(2);
+    EXPECT_EXIT(planDeployment(topo, false, 0),
+                ::testing::ExitedWithCode(1), "FAME-5");
+}
+
+} // namespace
+} // namespace firesim

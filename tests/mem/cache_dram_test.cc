@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    DramModel dram;
+    EXPECT_LT(dram.rowHitLatency(), dram.rowMissLatency());
+    // First access to a closed bank: row miss.
+    Cycles first = dram.access(0x1000, false, 0);
+    EXPECT_EQ(first, dram.rowMissLatency());
+    // Same row immediately after: hit (plus possible bank busy wait).
+    Cycles second = dram.access(0x1040, false, first + 100);
+    EXPECT_EQ(second, dram.rowHitLatency());
+    EXPECT_EQ(dram.stats().rowHits.value(), 1u);
+    EXPECT_EQ(dram.stats().rowMisses.value(), 1u);
+}
+
+TEST(Dram, RowConflictPaysPrechargeActivate)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    uint64_t row_span = static_cast<uint64_t>(cfg.rowBytes) *
+                        cfg.channels * cfg.ranksPerChannel *
+                        cfg.banksPerRank;
+    Cycles t = dram.access(0, false, 0); // open row 0 of bank 0
+    // Same bank, different row: conflict.
+    Cycles conflict = dram.access(row_span, false, t + 1000);
+    EXPECT_GT(conflict, dram.rowMissLatency());
+    EXPECT_EQ(dram.stats().rowConflicts.value(), 1u);
+}
+
+TEST(Dram, BankParallelismHidesLatency)
+{
+    DramConfig cfg;
+    DramModel dram(cfg);
+    // Accesses to different banks at the same instant each see
+    // closed-row latency; neither waits for the other.
+    Cycles a = dram.access(0, false, 0);
+    Cycles b = dram.access(cfg.rowBytes, false, 0); // next bank
+    EXPECT_EQ(a, dram.rowMissLatency());
+    EXPECT_EQ(b, dram.rowMissLatency());
+}
+
+TEST(Dram, SameBankBackToBackSerializes)
+{
+    DramModel dram;
+    dram.access(0, false, 0);
+    // Immediately issue another access to the same (now busy) bank:
+    // latency includes the wait for the bank.
+    Cycles second = dram.access(64, false, 0);
+    EXPECT_GT(second, dram.rowHitLatency());
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    DramModel dram;
+    CacheConfig cfg;
+    cfg.hitLatency = 2;
+    Cache cache(cfg, nullptr, &dram);
+    Cycles miss = cache.access(0x1000, 8, false, 0);
+    EXPECT_GT(miss, cfg.hitLatency);
+    Cycles hit = cache.access(0x1000, 8, false, miss);
+    EXPECT_EQ(hit, cfg.hitLatency);
+    EXPECT_EQ(cache.stats().hits.value(), 1u);
+    EXPECT_EQ(cache.stats().misses.value(), 1u);
+}
+
+TEST(Cache, WholeLineIsCached)
+{
+    DramModel dram;
+    Cache cache(CacheConfig{}, nullptr, &dram);
+    cache.access(0x1000, 1, false, 0);
+    // Any byte in the same 64-byte line hits.
+    EXPECT_EQ(cache.access(0x103f, 1, false, 100), 2u);
+    // The next line misses.
+    EXPECT_GT(cache.access(0x1040, 1, false, 200), 2u);
+}
+
+TEST(Cache, StraddlingAccessTouchesBothLines)
+{
+    DramModel dram;
+    Cache cache(CacheConfig{}, nullptr, &dram);
+    cache.access(0x103c, 8, false, 0); // spans lines 0x1000 and 0x1040
+    EXPECT_EQ(cache.stats().misses.value(), 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    DramModel dram;
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64; // 1 set, 2 ways
+    cfg.ways = 2;
+    Cache cache(cfg, nullptr, &dram);
+    cache.access(0x0000, 8, false, 0);   // A
+    cache.access(0x10000, 8, false, 10); // B (same set)
+    cache.access(0x0000, 8, false, 20);  // touch A -> B becomes LRU
+    cache.access(0x20000, 8, false, 30); // C evicts B
+    EXPECT_EQ(cache.access(0x0000, 8, false, 40), cfg.hitLatency); // A hit
+    EXPECT_GT(cache.access(0x10000, 8, false, 50), cfg.hitLatency); // B miss
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    DramModel dram;
+    CacheConfig cfg;
+    cfg.sizeBytes = 2 * 64;
+    cfg.ways = 2;
+    Cache cache(cfg, nullptr, &dram);
+    cache.access(0x0000, 8, true, 0);    // dirty A
+    cache.access(0x10000, 8, false, 10); // B
+    cache.access(0x20000, 8, false, 20); // evicts dirty A
+    EXPECT_EQ(cache.stats().writebacks.value(), 1u);
+    EXPECT_GE(dram.stats().writes.value(), 1u);
+}
+
+TEST(Cache, TwoLevelMissGoesThroughL2)
+{
+    DramModel dram;
+    CacheConfig l2c;
+    l2c.sizeBytes = 256 * KiB;
+    l2c.ways = 8;
+    l2c.hitLatency = 12;
+    Cache l2(l2c, nullptr, &dram);
+    CacheConfig l1c;
+    l1c.hitLatency = 2;
+    Cache l1(l1c, &l2, nullptr);
+
+    Cycles cold = l1.access(0x5000, 8, false, 0);
+    EXPECT_GT(cold, l2c.hitLatency); // went to DRAM
+    // Evict from L1 but not L2 by touching many same-set lines... use
+    // flush to emulate an L1-only invalidation.
+    l1.flush();
+    Cycles l2hit = l1.access(0x5000, 8, false, 10000);
+    EXPECT_EQ(l2hit, l1c.hitLatency + l2c.hitLatency);
+}
+
+TEST(MemHierarchyTest, TableIGeometry)
+{
+    MemHierarchy hier(4);
+    EXPECT_EQ(hier.l1i(0).config().sizeBytes, 16 * KiB);
+    EXPECT_EQ(hier.l1d(3).config().sizeBytes, 16 * KiB);
+    EXPECT_EQ(hier.l2().config().sizeBytes, 256 * KiB);
+}
+
+TEST(MemHierarchyTest, SharedL2BetweenCores)
+{
+    MemHierarchy hier(2);
+    // Core 0 warms the L2.
+    hier.data(0, 0x9000, 8, false, 0);
+    // Core 1 misses L1 but hits the shared L2.
+    Cycles lat = hier.data(1, 0x9000, 8, false, 1000);
+    EXPECT_EQ(lat, 2u + 12u);
+}
+
+TEST(CacheDeath, BadGeometryRejected)
+{
+    DramModel dram;
+    CacheConfig cfg;
+    cfg.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(Cache(cfg, nullptr, &dram), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/functional_memory.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(FunctionalMemory, ReadsOfUntouchedMemoryAreZero)
+{
+    FunctionalMemory mem(1 * MiB);
+    uint8_t buf[16];
+    std::fill(std::begin(buf), std::end(buf), 0xff);
+    mem.read(0x1234, buf, sizeof(buf));
+    for (uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(mem.allocatedPages(), 0u);
+}
+
+TEST(FunctionalMemory, WriteReadRoundTrip)
+{
+    FunctionalMemory mem(1 * MiB);
+    std::vector<uint8_t> data(1000);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i);
+    mem.write(0x8000, data.data(), data.size());
+    std::vector<uint8_t> out(data.size());
+    mem.read(0x8000, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(FunctionalMemory, CrossPageAccesses)
+{
+    FunctionalMemory mem(1 * MiB);
+    std::vector<uint8_t> data(FunctionalMemory::kPageBytes * 2 + 100, 0xab);
+    uint64_t addr = FunctionalMemory::kPageBytes - 50;
+    mem.write(addr, data.data(), data.size());
+    std::vector<uint8_t> out(data.size());
+    mem.read(addr, out.data(), out.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(mem.allocatedPages(), 4u); // partial, 2 full, partial
+}
+
+TEST(FunctionalMemory, ScalarAccessorsLittleEndian)
+{
+    FunctionalMemory mem(64 * KiB);
+    mem.write64(0x100, 0x0123456789abcdefULL);
+    EXPECT_EQ(mem.read8(0x100), 0xefu);
+    EXPECT_EQ(mem.read16(0x100), 0xcdefu);
+    EXPECT_EQ(mem.read32(0x100), 0x89abcdefu);
+    EXPECT_EQ(mem.read64(0x100), 0x0123456789abcdefULL);
+    mem.write32(0x200, 0xdeadbeef);
+    EXPECT_EQ(mem.read32(0x200), 0xdeadbeefu);
+    mem.write16(0x300, 0xcafe);
+    EXPECT_EQ(mem.read16(0x300), 0xcafeu);
+    mem.write8(0x400, 0x5a);
+    EXPECT_EQ(mem.read8(0x400), 0x5au);
+}
+
+TEST(FunctionalMemory, SparseAllocationStaysSmall)
+{
+    // The paper's blades have 16 GiB; touching a few pages must not
+    // materialize the capacity.
+    FunctionalMemory mem(16 * GiB);
+    mem.write64(0, 1);
+    mem.write64(8 * GiB, 2);
+    mem.write64(16 * GiB - 8, 3);
+    EXPECT_EQ(mem.allocatedPages(), 3u);
+    EXPECT_EQ(mem.read64(8 * GiB), 2u);
+}
+
+TEST(FunctionalMemoryDeath, OutOfBoundsRejected)
+{
+    FunctionalMemory mem(4096);
+    uint8_t b = 0;
+    EXPECT_DEATH(mem.read(4096, &b, 1), "out of bounds");
+    EXPECT_DEATH(mem.write(4090, &b, 8), "out of bounds");
+}
+
+TEST(FunctionalMemoryDeath, ZeroSizeRejected)
+{
+    EXPECT_EXIT(FunctionalMemory(0), ::testing::ExitedWithCode(1),
+                "nonzero");
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "net/eth.hh"
+
+namespace firesim
+{
+namespace
+{
+
+std::vector<uint8_t>
+bytesOf(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(MacAddr, MasksTo48Bits)
+{
+    MacAddr m(0xffff123456789abcULL);
+    EXPECT_EQ(m.value, 0x123456789abcULL);
+}
+
+TEST(MacAddr, StringForm)
+{
+    EXPECT_EQ(MacAddr(0x0a0b0c0d0e0fULL).str(), "0a:0b:0c:0d:0e:0f");
+    EXPECT_EQ(MacAddr::broadcast().str(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddr, BroadcastDetection)
+{
+    EXPECT_TRUE(MacAddr::broadcast().isBroadcast());
+    EXPECT_FALSE(MacAddr(1).isBroadcast());
+}
+
+TEST(EthFrame, HeaderRoundTrip)
+{
+    EthFrame f(MacAddr(0x1111), MacAddr(0x2222), EtherType::Ipv4,
+               bytesOf("hello"));
+    EXPECT_EQ(f.dst(), MacAddr(0x1111));
+    EXPECT_EQ(f.src(), MacAddr(0x2222));
+    EXPECT_EQ(f.etherType(), EtherType::Ipv4);
+    EXPECT_EQ(f.payload(), bytesOf("hello"));
+    EXPECT_EQ(f.size(), kEthHeaderBytes + 5);
+}
+
+TEST(EthFrame, FlitCountRoundsUp)
+{
+    // 14-byte header + 2-byte payload = 16 bytes = 2 flits.
+    EthFrame a(MacAddr(1), MacAddr(2), EtherType::Raw, bytesOf("ab"));
+    EXPECT_EQ(a.flitCount(), 2u);
+    // 14 + 3 = 17 bytes -> 3 flits.
+    EthFrame b(MacAddr(1), MacAddr(2), EtherType::Raw, bytesOf("abc"));
+    EXPECT_EQ(b.flitCount(), 3u);
+}
+
+TEST(FrameCodec, SerializeAssembleRoundTrip)
+{
+    std::vector<uint8_t> payload;
+    for (int i = 0; i < 100; ++i)
+        payload.push_back(static_cast<uint8_t>(i * 7));
+    EthFrame frame(MacAddr(0xaa), MacAddr(0xbb), EtherType::Raw, payload);
+
+    FrameSerializer ser(frame);
+    FrameAssembler asm_;
+    EthFrame out;
+    Cycles cycle = 1000;
+    bool done = false;
+    while (!ser.done()) {
+        Flit flit = ser.next();
+        done = asm_.feed(flit, cycle++, out);
+    }
+    ASSERT_TRUE(done);
+    EXPECT_EQ(out.bytes, frame.bytes);
+    // Timestamp = arrival cycle of the last token.
+    EXPECT_EQ(out.timestamp, cycle - 1);
+}
+
+TEST(FrameCodec, LastFlitMayBePartial)
+{
+    // 14 + 1 = 15 bytes: second flit holds 7 bytes.
+    EthFrame frame(MacAddr(1), MacAddr(2), EtherType::Raw, bytesOf("x"));
+    FrameSerializer ser(frame);
+    Flit f1 = ser.next();
+    EXPECT_EQ(f1.size, 8u);
+    EXPECT_FALSE(f1.last);
+    Flit f2 = ser.next();
+    EXPECT_EQ(f2.size, 7u);
+    EXPECT_TRUE(f2.last);
+    EXPECT_TRUE(ser.done());
+}
+
+TEST(FrameCodec, SerializerRemainingCountsDown)
+{
+    EthFrame frame(MacAddr(1), MacAddr(2), EtherType::Raw,
+                   std::vector<uint8_t>(50, 0));
+    FrameSerializer ser(frame);
+    EXPECT_EQ(ser.remaining(), frame.flitCount());
+    ser.next();
+    EXPECT_EQ(ser.remaining(), frame.flitCount() - 1);
+}
+
+TEST(FrameCodec, AssemblerTracksPartialState)
+{
+    EthFrame frame(MacAddr(1), MacAddr(2), EtherType::Raw,
+                   std::vector<uint8_t>(20, 9));
+    FrameSerializer ser(frame);
+    FrameAssembler asm_;
+    EthFrame out;
+    EXPECT_FALSE(asm_.inProgress());
+    asm_.feed(ser.next(), 0, out);
+    EXPECT_TRUE(asm_.inProgress());
+    asm_.reset();
+    EXPECT_FALSE(asm_.inProgress());
+}
+
+TEST(FrameCodec, BackToBackFramesThroughOneAssembler)
+{
+    FrameAssembler asm_;
+    for (int k = 0; k < 3; ++k) {
+        std::vector<uint8_t> payload(10 + k, static_cast<uint8_t>(k));
+        EthFrame frame(MacAddr(5), MacAddr(6), EtherType::Raw, payload);
+        FrameSerializer ser(frame);
+        EthFrame out;
+        bool done = false;
+        Cycles c = 0;
+        while (!ser.done())
+            done = asm_.feed(ser.next(), c++, out);
+        ASSERT_TRUE(done);
+        EXPECT_EQ(out.bytes, frame.bytes);
+    }
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "net/token.hh"
+
+namespace firesim
+{
+namespace
+{
+
+Flit
+mkFlit(uint32_t offset, bool last = false)
+{
+    Flit f;
+    f.offset = offset;
+    f.last = last;
+    f.size = 8;
+    return f;
+}
+
+TEST(TokenBatch, StartsEmpty)
+{
+    TokenBatch b(100, 64);
+    EXPECT_TRUE(b.isEmpty());
+    EXPECT_EQ(b.start, 100u);
+    EXPECT_EQ(b.len, 64u);
+}
+
+TEST(TokenBatch, PushKeepsOrder)
+{
+    TokenBatch b(0, 16);
+    b.push(mkFlit(1));
+    b.push(mkFlit(5));
+    b.push(mkFlit(15, true));
+    EXPECT_EQ(b.flits.size(), 3u);
+    EXPECT_EQ(b.absCycle(b.flits[1]), 5u);
+}
+
+TEST(TokenBatch, AbsCycleAddsStart)
+{
+    TokenBatch b(6400, 6400);
+    b.push(mkFlit(100));
+    EXPECT_EQ(b.absCycle(b.flits[0]), 6500u);
+}
+
+TEST(TokenBatchDeath, OffsetOutsideBatch)
+{
+    TokenBatch b(0, 8);
+    EXPECT_DEATH(b.push(mkFlit(8)), "outside batch");
+}
+
+TEST(TokenBatchDeath, NonMonotonicOffsets)
+{
+    TokenBatch b(0, 8);
+    b.push(mkFlit(3));
+    EXPECT_DEATH(b.push(mkFlit(3)), "strictly increasing");
+}
+
+TEST(TokenBatchDeath, ZeroSizeFlitRejected)
+{
+    TokenBatch b(0, 8);
+    Flit f = mkFlit(0);
+    f.size = 0;
+    EXPECT_DEATH(b.push(f), "size");
+}
+
+} // namespace
+} // namespace firesim

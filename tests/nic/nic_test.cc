@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.hh"
+#include "node/server_blade.hh"
+#include "tests/net/scripted_endpoint.hh"
+
+namespace firesim
+{
+namespace
+{
+
+/** One blade wired to a scripted peer through the fabric. */
+struct NicFixture : public ::testing::Test
+{
+    void
+    boot(NicConfig nic_cfg = NicConfig{})
+    {
+        BladeConfig bc;
+        bc.name = "dut";
+        bc.memBytes = 64 * MiB;
+        bc.nic = nic_cfg;
+        bc.mac = MacAddr(0xa);
+        blade = std::make_unique<ServerBlade>(bc);
+        peer = std::make_unique<ScriptedEndpoint>("peer");
+        fabric.addEndpoint(blade.get());
+        fabric.addEndpoint(peer.get());
+        fabric.connect(blade.get(), 0, peer.get(), 0, 400);
+        fabric.finalize();
+    }
+
+    /** Stage a frame in blade memory and return (addr, len). */
+    std::pair<uint64_t, uint32_t>
+    stageFrame(uint64_t addr, uint32_t payload_bytes, uint8_t tag = 7)
+    {
+        std::vector<uint8_t> payload(payload_bytes, tag);
+        EthFrame f(MacAddr(0xb), MacAddr(0xa), EtherType::Raw, payload);
+        blade->memory().write(addr, f.bytes.data(), f.size());
+        return {addr, f.size()};
+    }
+
+    TokenFabric fabric;
+    std::unique_ptr<ServerBlade> blade;
+    std::unique_ptr<ScriptedEndpoint> peer;
+};
+
+TEST_F(NicFixture, SendDmaPathDeliversExactBytes)
+{
+    boot();
+    auto [addr, len] = stageFrame(0x10000, 200, 0x5a);
+    ASSERT_TRUE(blade->nic().pushSendRequest(addr, len));
+    fabric.run(20000);
+    ASSERT_EQ(peer->received.size(), 1u);
+    const EthFrame &rx = peer->received[0].second;
+    EXPECT_EQ(rx.size(), len);
+    EXPECT_EQ(rx.dst(), MacAddr(0xb));
+    for (uint8_t b : rx.payload())
+        ASSERT_EQ(b, 0x5a);
+    EXPECT_EQ(blade->nic().stats().framesSent.value(), 1u);
+    EXPECT_EQ(blade->nic().stats().bytesSent.value(), len);
+}
+
+TEST_F(NicFixture, SendCompletionPostedAndInterruptRaised)
+{
+    boot();
+    int interrupts = 0;
+    blade->nic().setInterruptHandler([&] { ++interrupts; });
+    auto [addr, len] = stageFrame(0x10000, 50);
+    blade->nic().pushSendRequest(addr, len);
+    fabric.run(20000);
+    EXPECT_EQ(blade->nic().sendCompPending(), 1u);
+    EXPECT_TRUE(blade->nic().popSendComp());
+    EXPECT_FALSE(blade->nic().popSendComp());
+    EXPECT_GE(interrupts, 1);
+}
+
+TEST_F(NicFixture, ReceiveDmaWritesToPostedBuffer)
+{
+    boot();
+    blade->nic().pushRecvRequest(0x20000);
+    EthFrame f(MacAddr(0xa), MacAddr(0xb), EtherType::Raw,
+               std::vector<uint8_t>(64, 0xc3));
+    peer->sendAt(100, f);
+    fabric.run(20000);
+    auto comp = blade->nic().popRecvComp();
+    ASSERT_TRUE(comp.has_value());
+    EXPECT_EQ(comp->addr, 0x20000u);
+    EXPECT_EQ(comp->len, f.size());
+    std::vector<uint8_t> buf(f.size());
+    blade->memory().read(0x20000, buf.data(), f.size());
+    EXPECT_EQ(buf, f.bytes);
+}
+
+TEST_F(NicFixture, RxDropsWholePacketsWhenBufferFull)
+{
+    NicConfig nc;
+    nc.packetBufBytes = 1600; // fits one 1.5 KiB frame only
+    boot(nc);
+    // No receive requests posted: the writer can never drain the
+    // buffer, so the second packet must be dropped in its entirety.
+    EthFrame big(MacAddr(0xa), MacAddr(0xb), EtherType::Raw,
+                 std::vector<uint8_t>(1400, 1));
+    peer->sendAt(0, big);
+    peer->sendAt(200, big);
+    fabric.run(20000);
+    EXPECT_EQ(blade->nic().stats().framesReceived.value(), 1u);
+    EXPECT_EQ(blade->nic().stats().framesDroppedRx.value(), 1u);
+}
+
+TEST_F(NicFixture, RateLimitedStreamHasHalvedThroughput)
+{
+    NicConfig nc;
+    nc.rateK = 1;
+    nc.rateP = 2;
+    nc.sendReqDepth = 64;
+    nc.dmaBytesPerCycle = 64.0; // keep the reader off the critical path
+    nc.dmaStartLatency = 1;
+    boot(nc);
+    // Queue 8 frames back-to-back; steady-state spacing between frame
+    // completions reflects k/p = 1/2 of line rate.
+    std::vector<std::pair<uint64_t, uint32_t>> frames;
+    for (int i = 0; i < 8; ++i)
+        frames.push_back(stageFrame(0x10000 + i * 0x1000, 498)); // 64 flits
+    for (auto [addr, len] : frames)
+        ASSERT_TRUE(blade->nic().pushSendRequest(addr, len));
+    fabric.run(100000);
+    ASSERT_EQ(peer->received.size(), 8u);
+    // Steady-state inter-frame gap ~ 64 flits / (1/2) = 128 cycles.
+    Cycles g = peer->received[7].first - peer->received[6].first;
+    EXPECT_NEAR(static_cast<double>(g), 128.0, 8.0);
+}
+
+TEST_F(NicFixture, LineRateStreamIsBackToBack)
+{
+    NicConfig nc;
+    nc.sendReqDepth = 64;
+    nc.dmaBytesPerCycle = 64.0; // make DMA a non-factor
+    nc.dmaStartLatency = 1;
+    boot(nc);
+    for (int i = 0; i < 4; ++i) {
+        auto [addr, len] = stageFrame(0x10000 + i * 0x1000, 498);
+        ASSERT_TRUE(blade->nic().pushSendRequest(addr, len));
+    }
+    fabric.run(50000);
+    ASSERT_EQ(peer->received.size(), 4u);
+    Cycles g = peer->received[3].first - peer->received[2].first;
+    EXPECT_EQ(g, 64u); // one flit per cycle, 64-flit frames
+}
+
+TEST_F(NicFixture, RuntimeRateChangeTakesEffect)
+{
+    NicConfig nc;
+    nc.sendReqDepth = 64;
+    boot(nc);
+    blade->nic().setRateLimit(1, 4); // quarter line rate
+    auto [a1, l1] = stageFrame(0x10000, 498);
+    auto [a2, l2] = stageFrame(0x20000, 498);
+    blade->nic().pushSendRequest(a1, l1);
+    blade->nic().pushSendRequest(a2, l2);
+    fabric.run(200000);
+    ASSERT_EQ(peer->received.size(), 2u);
+    Cycles g = peer->received[1].first - peer->received[0].first;
+    EXPECT_NEAR(static_cast<double>(g), 64.0 * 4.0, 16.0);
+}
+
+TEST_F(NicFixture, QueueDepthBackpressure)
+{
+    NicConfig nc;
+    nc.sendReqDepth = 2;
+    boot(nc);
+    auto [addr, len] = stageFrame(0x10000, 100);
+    EXPECT_TRUE(blade->nic().pushSendRequest(addr, len));
+    EXPECT_TRUE(blade->nic().pushSendRequest(addr, len));
+    // Depth 2: the third push may be refused (the first may already
+    // have been issued to the reader, so allow either outcome, but the
+    // fourth must fail if the third succeeded while nothing drained).
+    bool third = blade->nic().pushSendRequest(addr, len);
+    bool fourth = blade->nic().pushSendRequest(addr, len);
+    EXPECT_FALSE(third && fourth);
+}
+
+TEST_F(NicFixture, UndersizeSendIsFatal)
+{
+    boot();
+    EXPECT_EXIT(blade->nic().pushSendRequest(0x1000, 4),
+                ::testing::ExitedWithCode(1), "send request");
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/simos.hh"
+#include "sim/event_queue.hh"
+
+namespace firesim
+{
+namespace
+{
+
+/** A 4-core OS on a bare event queue (no network). */
+struct OsFixture : public ::testing::Test
+{
+    OsFixture()
+    {
+        cfg.cores = 4;
+        cfg.ctxSwitchCycles = 100;
+        cfg.syscallCycles = 50;
+        cfg.wakeLatency = 10;
+        cfg.timeslice = 10000;
+    }
+
+    void
+    boot()
+    {
+        os = std::make_unique<SimOS>(cfg, eq);
+    }
+
+    OsConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<SimOS> os;
+};
+
+TEST_F(OsFixture, CpuBurstConsumesExactCycles)
+{
+    boot();
+    Cycles finished = 0;
+    os->spawn("worker", -1, [&]() -> Task<> {
+        co_await os->cpu(1234);
+        finished = eq.now();
+    });
+    eq.drain();
+    EXPECT_EQ(finished, 1234u);
+    EXPECT_EQ(os->busyCycles(), 1234u);
+    EXPECT_EQ(os->threadsAlive(), 0u);
+}
+
+TEST_F(OsFixture, SequentialBurstsAccumulate)
+{
+    boot();
+    Cycles finished = 0;
+    os->spawn("worker", -1, [&]() -> Task<> {
+        co_await os->cpu(100);
+        co_await os->cpu(200);
+        co_await os->cpu(300);
+        finished = eq.now();
+    });
+    eq.drain();
+    EXPECT_EQ(finished, 600u);
+}
+
+TEST_F(OsFixture, SleepBlocksWithoutCpu)
+{
+    boot();
+    Cycles woke = 0;
+    os->spawn("sleeper", -1, [&]() -> Task<> {
+        co_await os->sleepFor(5000);
+        woke = eq.now();
+    });
+    eq.drain();
+    EXPECT_EQ(woke, 5000u);
+    EXPECT_EQ(os->busyCycles(), 0u);
+}
+
+TEST_F(OsFixture, ThreadsRunInParallelOnSeparateCores)
+{
+    boot();
+    std::vector<Cycles> done;
+    for (int i = 0; i < 4; ++i) {
+        os->spawn("w", -1, [&]() -> Task<> {
+            co_await os->cpu(1000);
+            done.push_back(eq.now());
+        });
+    }
+    eq.drain();
+    ASSERT_EQ(done.size(), 4u);
+    for (Cycles c : done)
+        EXPECT_EQ(c, 1000u); // 4 threads, 4 cores: no serialization
+}
+
+TEST_F(OsFixture, FiveThreadsOnFourCoresSerialize)
+{
+    boot();
+    std::vector<Cycles> done;
+    for (int i = 0; i < 5; ++i) {
+        os->spawn("w", -1, [&]() -> Task<> {
+            co_await os->cpu(1000);
+            done.push_back(eq.now());
+        });
+    }
+    eq.drain();
+    ASSERT_EQ(done.size(), 5u);
+    // Four finish together; the fifth shares a core so it finishes
+    // later (it was timesliced with one of the others or queued).
+    Cycles latest = *std::max_element(done.begin(), done.end());
+    EXPECT_GT(latest, 1000u);
+}
+
+TEST_F(OsFixture, PinnedThreadsShareTheirCore)
+{
+    boot();
+    std::vector<Cycles> done;
+    for (int i = 0; i < 2; ++i) {
+        os->spawn("pinned", 0, [&]() -> Task<> {
+            co_await os->cpu(1000);
+            done.push_back(eq.now());
+        });
+    }
+    eq.drain();
+    ASSERT_EQ(done.size(), 2u);
+    // Both pinned to core 0: total busy 2000 (+ctx switch) on one core.
+    Cycles latest = *std::max_element(done.begin(), done.end());
+    EXPECT_GE(latest, 2000u);
+}
+
+TEST_F(OsFixture, TimesliceRoundRobinInterleaves)
+{
+    boot();
+    cfg.timeslice = 500;
+    os = std::make_unique<SimOS>(cfg, eq);
+    std::vector<int> completion_order;
+    for (int i = 0; i < 2; ++i) {
+        os->spawn("rr", 0, [&, i]() -> Task<> {
+            co_await os->cpu(1000);
+            completion_order.push_back(i);
+        });
+    }
+    eq.drain();
+    ASSERT_EQ(completion_order.size(), 2u);
+    // With a 500-cycle slice and 1000-cycle bursts, the first spawned
+    // thread is preempted once and still finishes first.
+    EXPECT_EQ(completion_order[0], 0);
+}
+
+TEST_F(OsFixture, WaitQueueBlocksUntilNotified)
+{
+    boot();
+    WaitQueue wq;
+    Cycles woke = 0;
+    os->spawn("waiter", -1, [&]() -> Task<> {
+        co_await os->waitOn(wq);
+        woke = eq.now();
+    });
+    os->spawn("notifier", -1, [&]() -> Task<> {
+        co_await os->cpu(2000);
+        wq.notifyOne();
+    });
+    eq.drain();
+    // Wake latency (10) applies after the notify at 2000.
+    EXPECT_GE(woke, 2000u + cfg.wakeLatency);
+    EXPECT_LE(woke, 2000u + cfg.wakeLatency + cfg.ctxSwitchCycles);
+}
+
+TEST_F(OsFixture, NotifyAllWakesEveryWaiter)
+{
+    boot();
+    WaitQueue wq;
+    int woken = 0;
+    for (int i = 0; i < 3; ++i) {
+        os->spawn("waiter", -1, [&]() -> Task<> {
+            co_await os->waitOn(wq);
+            ++woken;
+        });
+    }
+    os->spawn("notifier", -1, [&]() -> Task<> {
+        co_await os->cpu(100);
+        wq.notifyAll();
+    });
+    eq.drain();
+    EXPECT_EQ(woken, 3);
+}
+
+TEST_F(OsFixture, KernelThreadPreemptsUserThread)
+{
+    boot();
+    WaitQueue wq;
+    Cycles kernel_done = 0;
+    // Let the kernel thread block before loading the cores.
+    os->spawnKernel("softirq-like", [&]() -> Task<> {
+        co_await os->waitOn(wq);
+        co_await os->cpu(500);
+        kernel_done = eq.now();
+    });
+    eq.runUntil(100);
+    // One long-running user thread per core.
+    for (int i = 0; i < 4; ++i) {
+        os->spawn("spinner", i, [&]() -> Task<> {
+            co_await os->cpu(1000000);
+        });
+    }
+    // Wake the kernel thread while all cores are busy.
+    eq.schedule(5000, [&] { wq.notifyOne(); });
+    eq.drain();
+    // Preemption means it completes in ~wake + ctx + 500 cycles, far
+    // before the million-cycle spinners finish.
+    EXPECT_GT(kernel_done, 5000u);
+    EXPECT_LT(kernel_done, 20000u);
+}
+
+TEST_F(OsFixture, NestedTasksPropagateThreadAndReturnValues)
+{
+    boot();
+    int result = 0;
+    auto sub = [](SimOS &os, int x) -> Task<int> {
+        co_await os.cpu(100);
+        co_return x * 2;
+    };
+    os->spawn("parent", -1, [&, sub]() -> Task<> {
+        int v = co_await sub(*os, 21);
+        result = v;
+    });
+    eq.drain();
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(os->busyCycles(), 100u);
+}
+
+TEST_F(OsFixture, YieldRotatesEqualPriorityThreads)
+{
+    boot();
+    std::vector<int> order;
+    for (int i = 0; i < 2; ++i) {
+        os->spawn("y", 0, [&, i]() -> Task<> {
+            for (int k = 0; k < 3; ++k) {
+                order.push_back(i);
+                co_await os->cpu(10);
+                co_await os->yieldNow();
+            }
+        });
+    }
+    eq.drain();
+    ASSERT_EQ(order.size(), 6u);
+    // The two threads alternate.
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 0);
+}
+
+TEST_F(OsFixture, YieldMigratesToIdleCoreWhenContended)
+{
+    // Regression: yielding threads used to re-queue on their own core
+    // forever, leaving other cores idle (the Fig. 7 softirq pile-up).
+    boot();
+    std::vector<Cycles> done(2);
+    // Two CPU-bound threads that both start on core 0 (one pinned
+    // there, one unpinned whose wake lands there), yielding regularly.
+    os->spawn("stay", 0, [&]() -> Task<> {
+        for (int i = 0; i < 20; ++i) {
+            co_await os->cpu(1000);
+            co_await os->yieldNow();
+        }
+        done[0] = eq.now();
+    });
+    // Unpinned; round-robin initial placement also lands on core 0.
+    os->spawn("move", -1, [&]() -> Task<> {
+        for (int i = 0; i < 20; ++i) {
+            co_await os->cpu(1000);
+            co_await os->yieldNow();
+        }
+        done[1] = eq.now();
+    });
+    eq.drain();
+    // With migration-on-yield the second thread escapes to an idle
+    // core and both finish in ~20k cycles; trapped together they would
+    // take ~40k+.
+    EXPECT_LT(std::max(done[0], done[1]), 30000u);
+}
+
+TEST_F(OsFixture, KernelThreadsSpreadAcrossIdleCores)
+{
+    boot();
+    std::vector<int> first_core(2, -1);
+    WaitQueue go;
+    for (int i = 0; i < 2; ++i) {
+        SimThread *t = os->spawnKernel("kt", [&, i]() -> Task<> {
+            co_await os->waitOn(go);
+            first_core[i] = 0; // placeholder; read below via busy time
+            co_await os->cpu(50000);
+        });
+        (void)t;
+    }
+    eq.runUntil(100);
+    go.notifyAll();
+    eq.drain();
+    // Both ran 50k cycles; if they spread over two cores the busy sum
+    // is 100k accumulated across a ~50k-cycle wall window.
+    EXPECT_GE(os->busyCycles(), 100000u);
+    EXPECT_LT(eq.now(), 95000u); // parallel, not serialized
+}
+
+TEST_F(OsFixture, SyscallChargesConfiguredCost)
+{
+    boot();
+    os->spawn("sys", -1, [&]() -> Task<> {
+        co_await os->syscall();
+    });
+    eq.drain();
+    EXPECT_EQ(os->busyCycles(), cfg.syscallCycles);
+}
+
+TEST_F(OsFixture, CpuAccountingPerThread)
+{
+    boot();
+    SimThread *t = os->spawn("acct", -1, [&]() -> Task<> {
+        co_await os->cpu(777);
+    });
+    eq.drain();
+    EXPECT_EQ(t->cpuConsumed(), 777u);
+    EXPECT_EQ(t->state(), SimThread::State::Done);
+}
+
+TEST_F(OsFixture, SpawnPinValidation)
+{
+    boot();
+    EXPECT_EXIT(os->spawn("bad", 7, []() -> Task<> { co_return; }),
+                ::testing::ExitedWithCode(1), "pinned");
+}
+
+} // namespace
+} // namespace firesim

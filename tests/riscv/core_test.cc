@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "riscv/assembler.hh"
+#include "riscv/core.hh"
+
+namespace firesim
+{
+namespace
+{
+
+using namespace regs;
+
+/** A bare blade: memory + hierarchy + core + standard devices. */
+struct CoreFixture : public ::testing::Test
+{
+    CoreFixture()
+        : mem(64 * MiB), hier(1)
+    {
+        core = std::make_unique<RocketCore>(CoreConfig{}, mem, hier, &bus);
+        mapStandardDevices(bus, *core);
+    }
+
+    Assembler
+    prog()
+    {
+        return Assembler(mem, memmap::kDramBase);
+    }
+
+    FunctionalMemory mem;
+    MemHierarchy hier;
+    MmioBus bus;
+    std::unique_ptr<RocketCore> core;
+};
+
+TEST_F(CoreFixture, AluArithmetic)
+{
+    Assembler a = prog();
+    a.li(a0, 40);
+    a.li(a1, 2);
+    a.add(a2, a0, a1);  // 42
+    a.sub(a3, a0, a1);  // 38
+    a.xor_(a4, a0, a1); // 42
+    a.and_(a5, a0, a1); // 0
+    a.or_(a6, a0, a1);  // 42
+    a.halt(a2);
+    a.finalize();
+    auto r = core->run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitCode, 42u);
+    EXPECT_EQ(core->reg(a3), 38u);
+    EXPECT_EQ(core->reg(a4), 42u);
+    EXPECT_EQ(core->reg(a5), 0u);
+    EXPECT_EQ(core->reg(a6), 42u);
+}
+
+TEST_F(CoreFixture, LiMaterializesArbitraryConstants)
+{
+    const int64_t values[] = {0,
+                              1,
+                              -1,
+                              2047,
+                              -2048,
+                              2048,
+                              0x7fffffff,
+                              static_cast<int64_t>(0xffffffff80000000ULL),
+                              0x123456789abcdef0LL,
+                              INT64_MIN,
+                              INT64_MAX};
+    int idx = 10;
+    Assembler a = prog();
+    for (int64_t v : values)
+        a.li(static_cast<Reg>(idx++), v);
+    a.li(t0, 0);
+    a.halt(t0);
+    a.finalize();
+    core->run();
+    idx = 10;
+    for (int64_t v : values)
+        EXPECT_EQ(core->reg(static_cast<Reg>(idx++)),
+                  static_cast<uint64_t>(v))
+            << v;
+}
+
+TEST_F(CoreFixture, ShiftsAndComparisons)
+{
+    Assembler a = prog();
+    a.li(a0, -8);
+    a.srai(a1, a0, 1); // -4
+    a.srli(a2, a0, 60); // 15
+    a.li(a3, 3);
+    a.sll(a4, a3, a3); // 24
+    a.slt(a5, a0, a3); // -8 < 3 -> 1
+    a.sltu(a6, a0, a3); // huge unsigned < 3 -> 0
+    a.sltiu(a7, a3, 5); // 1
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a1)), -4);
+    EXPECT_EQ(core->reg(a2), 15u);
+    EXPECT_EQ(core->reg(a4), 24u);
+    EXPECT_EQ(core->reg(a5), 1u);
+    EXPECT_EQ(core->reg(a6), 0u);
+    EXPECT_EQ(core->reg(a7), 1u);
+}
+
+TEST_F(CoreFixture, WordOpsSignExtend)
+{
+    Assembler a = prog();
+    a.li(a0, 0x7fffffff);
+    a.addiw(a1, a0, 1); // 0x80000000 -> sext = 0xffffffff80000000
+    a.li(a2, 1);
+    a.addw(a3, a0, a2); // same
+    a.subw(a4, a3, a2); // back to 0x7fffffff
+    a.slliw(a5, a2, 31); // 0xffffffff80000000
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(core->reg(a1), 0xffffffff80000000ULL);
+    EXPECT_EQ(core->reg(a3), 0xffffffff80000000ULL);
+    EXPECT_EQ(core->reg(a4), 0x7fffffffULL);
+    EXPECT_EQ(core->reg(a5), 0xffffffff80000000ULL);
+}
+
+TEST_F(CoreFixture, LoadStoreAllWidths)
+{
+    Assembler a = prog();
+    a.li(s0, static_cast<int64_t>(memmap::kDramBase + 0x100000));
+    a.li(t0, 0x1122334455667788LL);
+    a.sd(t0, s0, 0);
+    a.lb(a0, s0, 0);  // 0x88 sext -> -120
+    a.lbu(a1, s0, 0); // 0x88
+    a.lh(a2, s0, 0);  // 0x7788
+    a.lhu(a3, s0, 6); // 0x1122
+    a.lw(a4, s0, 4);  // 0x11223344
+    a.lwu(a5, s0, 0); // 0x55667788
+    a.ld(a6, s0, 0);
+    a.sb(t0, s0, 8);
+    a.lbu(a7, s0, 8); // 0x88
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a0)), -120);
+    EXPECT_EQ(core->reg(a1), 0x88u);
+    EXPECT_EQ(core->reg(a2), 0x7788u);
+    EXPECT_EQ(core->reg(a3), 0x1122u);
+    EXPECT_EQ(core->reg(a4), 0x11223344u);
+    EXPECT_EQ(core->reg(a5), 0x55667788u);
+    EXPECT_EQ(core->reg(a6), 0x1122334455667788ULL);
+    EXPECT_EQ(core->reg(a7), 0x88u);
+}
+
+TEST_F(CoreFixture, BranchesAndLoops)
+{
+    // sum = 1 + 2 + ... + 100 = 5050
+    Assembler a = prog();
+    a.li(a0, 0);   // sum
+    a.li(t0, 1);   // i
+    a.li(t1, 100); // limit
+    Assembler::Label loop = a.newLabel();
+    a.bind(loop);
+    a.add(a0, a0, t0);
+    a.addi(t0, t0, 1);
+    a.bge(t1, t0, loop);
+    a.halt(a0);
+    a.finalize();
+    auto r = core->run();
+    EXPECT_EQ(r.exitCode, 5050u);
+    EXPECT_EQ(core->stats().takenBranches, 99u);
+}
+
+TEST_F(CoreFixture, FunctionCallAndReturn)
+{
+    // double(x): x*2, called three times via jal/ret.
+    Assembler a = prog();
+    Assembler::Label fn = a.newLabel();
+    Assembler::Label start = a.newLabel();
+    a.j(start);
+    a.bind(fn);
+    a.add(a0, a0, a0);
+    a.ret();
+    a.bind(start);
+    a.li(a0, 5);
+    a.jal(ra, fn);
+    a.jal(ra, fn);
+    a.jal(ra, fn);
+    a.halt(a0); // 40
+    a.finalize();
+    EXPECT_EQ(core->run().exitCode, 40u);
+}
+
+TEST_F(CoreFixture, MulDivSemantics)
+{
+    Assembler a = prog();
+    a.li(a0, -7);
+    a.li(a1, 3);
+    a.mul(a2, a0, a1);  // -21
+    a.div(a3, a0, a1);  // -2 (toward zero)
+    a.rem(a4, a0, a1);  // -1
+    a.li(t0, 0);
+    a.div(a5, a0, t0);  // div by zero -> all ones
+    a.rem(a6, a0, t0);  // rem by zero -> dividend
+    a.li(t1, INT64_MIN);
+    a.li(t2, -1);
+    a.div(a7, t1, t2);  // overflow -> INT64_MIN
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a2)), -21);
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a3)), -2);
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a4)), -1);
+    EXPECT_EQ(core->reg(a5), ~0ULL);
+    EXPECT_EQ(static_cast<int64_t>(core->reg(a6)), -7);
+    EXPECT_EQ(core->reg(a7), static_cast<uint64_t>(INT64_MIN));
+}
+
+TEST_F(CoreFixture, MulhVariants)
+{
+    Assembler a = prog();
+    a.li(a0, -1);
+    a.li(a1, -1);
+    a.mulh(a2, a0, a1);   // (-1 * -1) >> 64 = 0
+    a.mulhu(a3, a0, a1);  // (2^64-1)^2 >> 64 = 2^64 - 2
+    a.mulhsu(a4, a0, a1); // -1 * (2^64-1) >> 64 = -1
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(core->reg(a2), 0u);
+    EXPECT_EQ(core->reg(a3), ~1ULL);
+    EXPECT_EQ(core->reg(a4), ~0ULL);
+}
+
+TEST_F(CoreFixture, X0IsHardwiredZero)
+{
+    Assembler a = prog();
+    a.li(t0, 99);
+    a.add(zero, t0, t0);
+    a.mv(a0, zero);
+    a.halt(a0);
+    a.finalize();
+    EXPECT_EQ(core->run().exitCode, 0u);
+}
+
+TEST_F(CoreFixture, UartPrintsHello)
+{
+    Assembler a = prog();
+    a.li(t1, static_cast<int64_t>(memmap::kUartTx));
+    for (char c : std::string("hello")) {
+        a.li(t0, c);
+        a.sb(t0, t1, 0);
+    }
+    a.halt(zero);
+    a.finalize();
+    core->run();
+    EXPECT_EQ(core->console(), "hello");
+}
+
+TEST_F(CoreFixture, EcallHaltsWithA0)
+{
+    Assembler a = prog();
+    a.li(a0, 17);
+    a.ecall();
+    a.finalize();
+    EXPECT_EQ(core->run().exitCode, 17u);
+}
+
+TEST_F(CoreFixture, TightLoopRunsNearCpiOne)
+{
+    // A long dependent ALU chain in a hot I$ line: CPI approaches 1
+    // (plus the taken-branch penalty of the loop back-edge).
+    Assembler a = prog();
+    a.li(t0, 10000);
+    Assembler::Label loop = a.newLabel();
+    a.bind(loop);
+    for (int i = 0; i < 14; ++i)
+        a.addi(a0, a0, 1);
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.halt(a0);
+    a.finalize();
+    auto r = core->run();
+    double cpi = static_cast<double>(r.cycles) / r.instret;
+    EXPECT_GT(cpi, 1.0);
+    EXPECT_LT(cpi, 1.35);
+}
+
+TEST_F(CoreFixture, CacheMissesShowUpInTiming)
+{
+    // Stride through 1 MiB (beyond L2): each load pays DRAM latency.
+    Assembler a = prog();
+    a.li(s0, static_cast<int64_t>(memmap::kDramBase + 0x100000));
+    a.li(t0, 4096); // iterations
+    Assembler::Label loop = a.newLabel();
+    a.bind(loop);
+    a.ld(a1, s0, 0);
+    a.addi(s0, s0, 256); // skip lines, defeat spatial locality
+    a.addi(t0, t0, -1);
+    a.bne(t0, zero, loop);
+    a.halt(zero);
+    a.finalize();
+    auto r = core->run();
+    double cpi = static_cast<double>(r.cycles) / r.instret;
+    EXPECT_GT(cpi, 10.0); // heavily memory bound
+    EXPECT_GT(hier.dram().stats().reads.value(), 4000u);
+}
+
+TEST_F(CoreFixture, InstructionTimingBreakdown)
+{
+    Assembler a = prog();
+    a.li(a0, 6);
+    a.li(a1, 7);
+    a.mul(a2, a0, a1);
+    a.halt(a2);
+    a.finalize();
+    auto r = core->run();
+    EXPECT_EQ(r.exitCode, 42u);
+    // mul costs mulLatency (4) instead of 1.
+    EXPECT_GE(r.cycles, r.instret + 3);
+}
+
+TEST_F(CoreFixture, RunRespectsInstructionBudget)
+{
+    Assembler a = prog();
+    Assembler::Label loop = a.newLabel();
+    a.bind(loop);
+    a.addi(a0, a0, 1);
+    a.j(loop);
+    a.finalize();
+    auto r = core->run(1000);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.instret, 1000u);
+}
+
+TEST(MmioBusTest, OverlapRejected)
+{
+    MmioBus bus;
+    bus.map(0x1000, 0x100, nullptr, [](uint64_t, uint64_t, uint32_t) {},
+            "a");
+    EXPECT_EXIT(bus.map(0x10ff, 0x10, nullptr,
+                        [](uint64_t, uint64_t, uint32_t) {}, "b"),
+                ::testing::ExitedWithCode(1), "overlaps");
+}
+
+TEST(MmioBusTest, UnmappedAccessPanics)
+{
+    MmioBus bus;
+    EXPECT_DEATH(bus.read(0xdead, 8), "unmapped");
+}
+
+} // namespace
+} // namespace firesim

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "riscv/assembler.hh"
+#include "riscv/core.hh"
+#include "riscv/rocc.hh"
+
+namespace firesim
+{
+namespace
+{
+
+using namespace regs;
+
+struct RoccFixture : public ::testing::Test
+{
+    RoccFixture()
+        : mem(64 * MiB), hier(1)
+    {
+        core = std::make_unique<RocketCore>(CoreConfig{}, mem, hier, &bus);
+        mapStandardDevices(bus, *core);
+        hwacha = std::make_unique<HwachaModel>(HwachaConfig{}, mem);
+        core->attachAccelerator(0, hwacha.get());
+    }
+
+    FunctionalMemory mem;
+    MemHierarchy hier;
+    MmioBus bus;
+    std::unique_ptr<RocketCore> core;
+    std::unique_ptr<HwachaModel> hwacha;
+};
+
+TEST_F(RoccFixture, VectorFillWritesMemory)
+{
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t0, 64); // vlen
+    a.custom0(hwacha::kSetVlen, zero, t0, zero);
+    a.li(t1, 0x10000);
+    a.li(t2, static_cast<int64_t>(0xdeadbeefcafef00dULL));
+    a.custom0(hwacha::kFill, zero, t1, t2);
+    a.halt(zero);
+    a.finalize();
+    ASSERT_TRUE(core->run(10000).halted);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(mem.read64(0x10000 + 8 * i), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.read64(0x10000 + 8 * 64), 0u); // no overrun
+}
+
+TEST_F(RoccFixture, VectorMemcpyMovesExactly)
+{
+    for (int i = 0; i < 32; ++i)
+        mem.write64(0x20000 + 8 * i, 0x1000 + i);
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t0, 32);
+    a.custom0(hwacha::kSetVlen, zero, t0, zero);
+    a.li(t1, 0x30000); // dst
+    a.li(t2, 0x20000); // src
+    a.custom0(hwacha::kMemcpy, zero, t1, t2);
+    a.halt(zero);
+    a.finalize();
+    ASSERT_TRUE(core->run(10000).halted);
+    for (int i = 0; i < 32; ++i)
+        ASSERT_EQ(mem.read64(0x30000 + 8 * i), 0x1000u + i);
+}
+
+TEST_F(RoccFixture, SaxpyComputes)
+{
+    for (int i = 0; i < 16; ++i) {
+        mem.write64(0x40000 + 8 * i, i);      // x
+        mem.write64(0x50000 + 8 * i, 100);    // y
+    }
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t0, 16);
+    a.custom0(hwacha::kSetVlen, zero, t0, zero);
+    a.li(t0, 3); // a = 3
+    a.custom0(hwacha::kSetScalar, zero, t0, zero);
+    a.li(t1, 0x40000);
+    a.li(t2, 0x50000);
+    a.custom0(hwacha::kSaxpy, zero, t1, t2);
+    a.halt(zero);
+    a.finalize();
+    ASSERT_TRUE(core->run(10000).halted);
+    for (uint64_t i = 0; i < 16; ++i)
+        ASSERT_EQ(mem.read64(0x40000 + 8 * i), i + 300);
+}
+
+TEST_F(RoccFixture, VectorBeatsScalarLoop)
+{
+    // Vector-accelerated fill vs a scalar store loop over the same
+    // 512 elements: the whole point of attaching a Hwacha (Table II).
+    auto vector_cycles = [&] {
+        Assembler a(mem, memmap::kDramBase);
+        a.li(t0, 512);
+        a.custom0(hwacha::kSetVlen, zero, t0, zero);
+        a.li(t1, 0x60000);
+        a.li(t2, 7);
+        a.custom0(hwacha::kFill, zero, t1, t2);
+        a.halt(zero);
+        a.finalize();
+        return core->run(100000).cycles;
+    }();
+
+    RocketCore scalar(CoreConfig{}, mem, hier, &bus);
+    Assembler b(mem, memmap::kDramBase + 0x100000);
+    b.li(t0, 512);
+    b.li(t1, static_cast<int64_t>(memmap::kDramBase + 0x70000));
+    b.li(t2, 7);
+    Assembler::Label loop = b.newLabel();
+    b.bind(loop);
+    b.sd(t2, t1, 0);
+    b.addi(t1, t1, 8);
+    b.addi(t0, t0, -1);
+    b.bne(t0, zero, loop);
+    b.halt(zero);
+    b.finalize();
+    scalar.reset(memmap::kDramBase + 0x100000);
+    Cycles scalar_cycles = scalar.run(100000).cycles;
+
+    EXPECT_LT(vector_cycles * 3, scalar_cycles);
+}
+
+TEST_F(RoccFixture, BusyCounterAccumulates)
+{
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t0, 128);
+    a.custom0(hwacha::kSetVlen, zero, t0, zero);
+    a.li(t1, 0x80000);
+    a.custom0(hwacha::kFill, zero, t1, zero);
+    a.custom0(hwacha::kReadBusy, a0, zero, zero);
+    a.halt(a0);
+    a.finalize();
+    auto result = core->run(10000);
+    // 128 elements over the memory bound (1024 B / 16 B-per-cycle) plus
+    // startup.
+    EXPECT_GE(result.exitCode, 64u);
+    EXPECT_EQ(result.exitCode, hwacha->busyCycles());
+}
+
+TEST_F(RoccFixture, HlsAcceleratorCallback)
+{
+    // The HLS path: a popcount "accelerator" from a C++ kernel.
+    HlsAccelerator popcnt("popcount", [](uint32_t, uint64_t rs1,
+                                         uint64_t) {
+        RoccResult r;
+        r.rd = static_cast<uint64_t>(__builtin_popcountll(rs1));
+        r.latency = 3;
+        return r;
+    });
+    core->attachAccelerator(1, &popcnt);
+
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t0, static_cast<int64_t>(0xf0f0f0f0f0f0f0f0ULL));
+    a.custom1(0, a0, t0, zero);
+    a.halt(a0);
+    a.finalize();
+    EXPECT_EQ(core->run(1000).exitCode, 32u);
+}
+
+TEST_F(RoccFixture, UnattachedSlotPanics)
+{
+    Assembler a(mem, memmap::kDramBase);
+    a.custom1(0, a0, zero, zero); // nothing attached on custom-1
+    a.halt(zero);
+    a.finalize();
+    EXPECT_DEATH(core->run(100), "no accelerator");
+}
+
+TEST_F(RoccFixture, KernelBeforeConfigIsFatal)
+{
+    Assembler a(mem, memmap::kDramBase);
+    a.li(t1, 0x10000);
+    a.custom0(hwacha::kFill, zero, t1, zero); // no vsetcfg first
+    a.halt(zero);
+    a.finalize();
+    EXPECT_EXIT(core->run(100), ::testing::ExitedWithCode(1),
+                "vsetcfg");
+}
+
+} // namespace
+} // namespace firesim

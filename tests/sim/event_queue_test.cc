@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace firesim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimestampOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    q.runUntil(43);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilExcludesLimitCycle)
+{
+    EventQueue q;
+    bool at_limit = false, before_limit = false;
+    q.schedule(9, [&] { before_limit = true; });
+    q.schedule(10, [&] { at_limit = true; });
+    q.runUntil(10);
+    EXPECT_TRUE(before_limit);
+    EXPECT_FALSE(at_limit);
+    // The event at 10 runs in the next window.
+    q.runUntil(11);
+    EXPECT_TRUE(at_limit);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.schedule(7, [&] { seen = q.now(); });
+    q.runUntil(100);
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, EventsMayScheduleWithinWindow)
+{
+    EventQueue q;
+    std::vector<Cycles> fired;
+    q.schedule(5, [&] {
+        fired.push_back(q.now());
+        q.scheduleIn(3, [&] { fired.push_back(q.now()); });
+    });
+    q.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Cycles>{5, 8}));
+}
+
+TEST(EventQueue, ChainedSelfRescheduleStopsAtWindow)
+{
+    EventQueue q;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        q.scheduleIn(10, tick);
+    };
+    q.schedule(0, tick);
+    q.runUntil(100);
+    // Fires at 0,10,...,90 = 10 times; the one at 100 stays pending.
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, DrainRunsEverything)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] { ++count; });
+    q.schedule(1000000, [&] { ++count; });
+    Cycles last = q.drain();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(last, 1000000u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), kNoCycle);
+    q.schedule(55, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 55u);
+}
+
+TEST(EventQueueDeath, PastSchedulingIsBug)
+{
+    EventQueue q;
+    q.runUntil(50);
+    EXPECT_DEATH(q.schedule(49, [] {}), "before now");
+}
+
+TEST(EventQueueDeath, RunUntilBackwardsIsBug)
+{
+    EventQueue q;
+    q.runUntil(50);
+    EXPECT_DEATH(q.runUntil(10), "backwards");
+}
+
+} // namespace
+} // namespace firesim
