@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pfa.dir/bench_fig11_pfa.cc.o"
+  "CMakeFiles/bench_fig11_pfa.dir/bench_fig11_pfa.cc.o.d"
+  "bench_fig11_pfa"
+  "bench_fig11_pfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sim_rate_vs_scale.dir/bench_fig8_sim_rate_vs_scale.cc.o"
+  "CMakeFiles/bench_fig8_sim_rate_vs_scale.dir/bench_fig8_sim_rate_vs_scale.cc.o.d"
+  "bench_fig8_sim_rate_vs_scale"
+  "bench_fig8_sim_rate_vs_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sim_rate_vs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

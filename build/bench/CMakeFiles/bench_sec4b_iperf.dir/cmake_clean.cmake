@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4b_iperf.dir/bench_sec4b_iperf.cc.o"
+  "CMakeFiles/bench_sec4b_iperf.dir/bench_sec4b_iperf.cc.o.d"
+  "bench_sec4b_iperf"
+  "bench_sec4b_iperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4b_iperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4c_baremetal_bw.dir/bench_sec4c_baremetal_bw.cc.o"
+  "CMakeFiles/bench_sec4c_baremetal_bw.dir/bench_sec4c_baremetal_bw.cc.o.d"
+  "bench_sec4c_baremetal_bw"
+  "bench_sec4c_baremetal_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4c_baremetal_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec4c_baremetal_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablei_blade_config.dir/bench_tablei_blade_config.cc.o"
+  "CMakeFiles/bench_tablei_blade_config.dir/bench_tablei_blade_config.cc.o.d"
+  "bench_tablei_blade_config"
+  "bench_tablei_blade_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablei_blade_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableiii_datacenter_memcached.dir/bench_tableiii_datacenter_memcached.cc.o"
+  "CMakeFiles/bench_tableiii_datacenter_memcached.dir/bench_tableiii_datacenter_memcached.cc.o.d"
+  "bench_tableiii_datacenter_memcached"
+  "bench_tableiii_datacenter_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableiii_datacenter_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableiii_datacenter_memcached.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_topology.dir/datacenter_topology.cpp.o"
+  "CMakeFiles/datacenter_topology.dir/datacenter_topology.cpp.o.d"
+  "datacenter_topology"
+  "datacenter_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_cluster.dir/memcached_cluster.cpp.o"
+  "CMakeFiles/memcached_cluster.dir/memcached_cluster.cpp.o.d"
+  "memcached_cluster"
+  "memcached_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_memory_pfa.dir/remote_memory_pfa.cpp.o"
+  "CMakeFiles/remote_memory_pfa.dir/remote_memory_pfa.cpp.o.d"
+  "remote_memory_pfa"
+  "remote_memory_pfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_memory_pfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_baremetal.dir/riscv_baremetal.cpp.o"
+  "CMakeFiles/riscv_baremetal.dir/riscv_baremetal.cpp.o.d"
+  "riscv_baremetal"
+  "riscv_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

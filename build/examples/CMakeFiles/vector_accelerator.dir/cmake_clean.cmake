@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_accelerator.dir/vector_accelerator.cpp.o"
+  "CMakeFiles/vector_accelerator.dir/vector_accelerator.cpp.o.d"
+  "vector_accelerator"
+  "vector_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_apps.dir/baremetal_stream.cc.o"
+  "CMakeFiles/firesim_apps.dir/baremetal_stream.cc.o.d"
+  "CMakeFiles/firesim_apps.dir/boot.cc.o"
+  "CMakeFiles/firesim_apps.dir/boot.cc.o.d"
+  "CMakeFiles/firesim_apps.dir/iperf.cc.o"
+  "CMakeFiles/firesim_apps.dir/iperf.cc.o.d"
+  "CMakeFiles/firesim_apps.dir/memcached.cc.o"
+  "CMakeFiles/firesim_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/firesim_apps.dir/mutilate.cc.o"
+  "CMakeFiles/firesim_apps.dir/mutilate.cc.o.d"
+  "CMakeFiles/firesim_apps.dir/ping.cc.o"
+  "CMakeFiles/firesim_apps.dir/ping.cc.o.d"
+  "libfiresim_apps.a"
+  "libfiresim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

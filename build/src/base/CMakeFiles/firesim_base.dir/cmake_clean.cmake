@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_base.dir/logging.cc.o"
+  "CMakeFiles/firesim_base.dir/logging.cc.o.d"
+  "CMakeFiles/firesim_base.dir/table.cc.o"
+  "CMakeFiles/firesim_base.dir/table.cc.o.d"
+  "libfiresim_base.a"
+  "libfiresim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

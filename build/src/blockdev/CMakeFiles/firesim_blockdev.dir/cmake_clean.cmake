@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_blockdev.dir/blockdev.cc.o"
+  "CMakeFiles/firesim_blockdev.dir/blockdev.cc.o.d"
+  "libfiresim_blockdev.a"
+  "libfiresim_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_host.dir/deployment.cc.o"
+  "CMakeFiles/firesim_host.dir/deployment.cc.o.d"
+  "CMakeFiles/firesim_host.dir/perf_model.cc.o"
+  "CMakeFiles/firesim_host.dir/perf_model.cc.o.d"
+  "libfiresim_host.a"
+  "libfiresim_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

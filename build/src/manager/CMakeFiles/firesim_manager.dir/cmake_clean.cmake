@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_manager.dir/cluster.cc.o"
+  "CMakeFiles/firesim_manager.dir/cluster.cc.o.d"
+  "CMakeFiles/firesim_manager.dir/topology.cc.o"
+  "CMakeFiles/firesim_manager.dir/topology.cc.o.d"
+  "libfiresim_manager.a"
+  "libfiresim_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

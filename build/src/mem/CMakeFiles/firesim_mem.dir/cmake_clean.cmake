@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_mem.dir/cache.cc.o"
+  "CMakeFiles/firesim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/firesim_mem.dir/dram.cc.o"
+  "CMakeFiles/firesim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/firesim_mem.dir/functional_memory.cc.o"
+  "CMakeFiles/firesim_mem.dir/functional_memory.cc.o.d"
+  "libfiresim_mem.a"
+  "libfiresim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

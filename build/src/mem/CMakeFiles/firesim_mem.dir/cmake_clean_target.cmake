@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfiresim_mem.a"
+)

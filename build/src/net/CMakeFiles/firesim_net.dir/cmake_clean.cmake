@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_net.dir/eth.cc.o"
+  "CMakeFiles/firesim_net.dir/eth.cc.o.d"
+  "CMakeFiles/firesim_net.dir/fabric.cc.o"
+  "CMakeFiles/firesim_net.dir/fabric.cc.o.d"
+  "libfiresim_net.a"
+  "libfiresim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_nic.dir/nic.cc.o"
+  "CMakeFiles/firesim_nic.dir/nic.cc.o.d"
+  "libfiresim_nic.a"
+  "libfiresim_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

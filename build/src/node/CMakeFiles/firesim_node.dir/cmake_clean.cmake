@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_node.dir/server_blade.cc.o"
+  "CMakeFiles/firesim_node.dir/server_blade.cc.o.d"
+  "libfiresim_node.a"
+  "libfiresim_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_os.dir/netstack.cc.o"
+  "CMakeFiles/firesim_os.dir/netstack.cc.o.d"
+  "CMakeFiles/firesim_os.dir/simos.cc.o"
+  "CMakeFiles/firesim_os.dir/simos.cc.o.d"
+  "libfiresim_os.a"
+  "libfiresim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

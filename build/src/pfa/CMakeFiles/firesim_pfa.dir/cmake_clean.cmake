@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_pfa.dir/pager.cc.o"
+  "CMakeFiles/firesim_pfa.dir/pager.cc.o.d"
+  "CMakeFiles/firesim_pfa.dir/remote_memory.cc.o"
+  "CMakeFiles/firesim_pfa.dir/remote_memory.cc.o.d"
+  "CMakeFiles/firesim_pfa.dir/workloads.cc.o"
+  "CMakeFiles/firesim_pfa.dir/workloads.cc.o.d"
+  "libfiresim_pfa.a"
+  "libfiresim_pfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_pfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

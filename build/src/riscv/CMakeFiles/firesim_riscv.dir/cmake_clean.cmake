@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_riscv.dir/assembler.cc.o"
+  "CMakeFiles/firesim_riscv.dir/assembler.cc.o.d"
+  "CMakeFiles/firesim_riscv.dir/core.cc.o"
+  "CMakeFiles/firesim_riscv.dir/core.cc.o.d"
+  "CMakeFiles/firesim_riscv.dir/nic_mmio.cc.o"
+  "CMakeFiles/firesim_riscv.dir/nic_mmio.cc.o.d"
+  "CMakeFiles/firesim_riscv.dir/rocc.cc.o"
+  "CMakeFiles/firesim_riscv.dir/rocc.cc.o.d"
+  "libfiresim_riscv.a"
+  "libfiresim_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firesim_switch.dir/switch.cc.o"
+  "CMakeFiles/firesim_switch.dir/switch.cc.o.d"
+  "libfiresim_switch.a"
+  "libfiresim_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firesim_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockdev.dir/blockdev/blockdev_test.cc.o"
+  "CMakeFiles/test_blockdev.dir/blockdev/blockdev_test.cc.o.d"
+  "test_blockdev"
+  "test_blockdev.pdb"
+  "test_blockdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfa.dir/pfa/pfa_test.cc.o"
+  "CMakeFiles/test_pfa.dir/pfa/pfa_test.cc.o.d"
+  "test_pfa"
+  "test_pfa.pdb"
+  "test_pfa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

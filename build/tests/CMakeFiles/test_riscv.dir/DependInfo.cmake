@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/riscv/core_test.cc" "tests/CMakeFiles/test_riscv.dir/riscv/core_test.cc.o" "gcc" "tests/CMakeFiles/test_riscv.dir/riscv/core_test.cc.o.d"
+  "/root/repo/tests/riscv/mmio_test.cc" "tests/CMakeFiles/test_riscv.dir/riscv/mmio_test.cc.o" "gcc" "tests/CMakeFiles/test_riscv.dir/riscv/mmio_test.cc.o.d"
+  "/root/repo/tests/riscv/property_test.cc" "tests/CMakeFiles/test_riscv.dir/riscv/property_test.cc.o" "gcc" "tests/CMakeFiles/test_riscv.dir/riscv/property_test.cc.o.d"
+  "/root/repo/tests/riscv/rocc_test.cc" "tests/CMakeFiles/test_riscv.dir/riscv/rocc_test.cc.o" "gcc" "tests/CMakeFiles/test_riscv.dir/riscv/rocc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/firesim_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/firesim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfa/CMakeFiles/firesim_pfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/firesim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/firesim_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchmodel/CMakeFiles/firesim_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/firesim_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/firesim_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/firesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/firesim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/firesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/firesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/firesim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv.dir/riscv/core_test.cc.o"
+  "CMakeFiles/test_riscv.dir/riscv/core_test.cc.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/mmio_test.cc.o"
+  "CMakeFiles/test_riscv.dir/riscv/mmio_test.cc.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/property_test.cc.o"
+  "CMakeFiles/test_riscv.dir/riscv/property_test.cc.o.d"
+  "CMakeFiles/test_riscv.dir/riscv/rocc_test.cc.o"
+  "CMakeFiles/test_riscv.dir/riscv/rocc_test.cc.o.d"
+  "test_riscv"
+  "test_riscv.pdb"
+  "test_riscv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

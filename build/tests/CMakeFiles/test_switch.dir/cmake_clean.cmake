@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch.dir/switchmodel/priority_switch_test.cc.o"
+  "CMakeFiles/test_switch.dir/switchmodel/priority_switch_test.cc.o.d"
+  "CMakeFiles/test_switch.dir/switchmodel/switch_test.cc.o"
+  "CMakeFiles/test_switch.dir/switchmodel/switch_test.cc.o.d"
+  "test_switch"
+  "test_switch.pdb"
+  "test_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_blockdev[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_pfa[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
