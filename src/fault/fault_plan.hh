@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic fault plans for the simulated datacenter.
+ *
+ * A FaultPlan is pure data: a seed plus a schedule of faults to apply
+ * at exact target cycles — lossy/corrupting/slow links, dead switch
+ * ports, and crashed (optionally restarting) nodes. The plan is
+ * interpreted by the FaultInjector (injector.hh), which resolves the
+ * symbolic endpoint names against a finalized TokenFabric and applies
+ * every fault deterministically: the same topology + plan + seed yields
+ * bit-identical simulation results, and an empty plan yields results
+ * bit-identical to a run with no injector attached (property-tested in
+ * tests/fault).
+ *
+ * This mirrors what FireSim's host platform defends against by
+ * construction (Section III-B2: the token transport never loses or
+ * reorders a batch): here those failures become *target-visible,
+ * schedulable events* so resilience experiments are reproducible.
+ */
+
+#ifndef FIRESIM_FAULT_FAULT_PLAN_HH
+#define FIRESIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace firesim
+{
+
+/** What a scheduled link fault does to in-flight tokens. */
+enum class LinkFaultKind
+{
+    DropPayload, //!< payload flits vanish; empty tokens still flow
+    CorruptFlit, //!< flip one payload bit per affected flit
+    ExtraLatency, //!< payload delayed by extra cycles (tokens on time)
+};
+
+/**
+ * A fault on one unidirectional channel, identified by its *producing*
+ * endpoint and port (the channel carrying tokens out of endpoint:port).
+ * Active for flits whose transmit cycle lies in [from, until), with
+ * until == 0 meaning "forever".
+ */
+struct LinkFaultSpec
+{
+    std::string endpoint;
+    uint32_t port = 0;
+    LinkFaultKind kind = LinkFaultKind::DropPayload;
+    Cycles from = 0;
+    Cycles until = 0;
+    /** Per-flit probability of being affected (Drop/Corrupt kinds). */
+    double probability = 1.0;
+    /** Added payload delay in cycles (ExtraLatency kind). */
+    Cycles extraCycles = 0;
+};
+
+/** Administratively kill a switch port at a target cycle. */
+struct PortDownSpec
+{
+    std::string switchName;
+    uint32_t port = 0;
+    Cycles at = 0;
+    /** Bring the port back at this cycle; 0 = stays down. */
+    Cycles restoreAt = 0;
+};
+
+/**
+ * Crash a fabric endpoint (typically a server blade, but any endpoint
+ * works, including a whole switch). While crashed the fabric emits
+ * empty token batches on the endpoint's behalf, so the rest of the
+ * cluster stays cycle-exact; traffic addressed to it is lost.
+ */
+struct CrashSpec
+{
+    std::string endpoint;
+    Cycles at = 0;
+    /** Resume advancing the endpoint at this cycle; 0 = stays down. */
+    Cycles restartAt = 0;
+};
+
+/** A seeded, deterministic schedule of faults. */
+struct FaultPlan
+{
+    /** Seed for all stochastic fault decisions (drop/corrupt draws). */
+    uint64_t seed = 0xf001f001ULL;
+
+    std::vector<LinkFaultSpec> linkFaults;
+    std::vector<PortDownSpec> portDowns;
+    std::vector<CrashSpec> crashes;
+
+    bool
+    empty() const
+    {
+        return linkFaults.empty() && portDowns.empty() && crashes.empty();
+    }
+
+    size_t
+    eventCount() const
+    {
+        return linkFaults.size() + portDowns.size() + crashes.size();
+    }
+
+    // ---- Fluent builders --------------------------------------------
+
+    FaultPlan &
+    withSeed(uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+
+    /** Drop payload flits leaving endpoint:port in [from, until). */
+    FaultPlan &
+    dropPayload(std::string endpoint, uint32_t port, Cycles from = 0,
+                Cycles until = 0, double probability = 1.0)
+    {
+        linkFaults.push_back({std::move(endpoint), port,
+                              LinkFaultKind::DropPayload, from, until,
+                              probability, 0});
+        return *this;
+    }
+
+    /** Flip one payload bit per affected flit in [from, until). */
+    FaultPlan &
+    corruptFlits(std::string endpoint, uint32_t port, Cycles from = 0,
+                 Cycles until = 0, double probability = 1.0)
+    {
+        linkFaults.push_back({std::move(endpoint), port,
+                              LinkFaultKind::CorruptFlit, from, until,
+                              probability, 0});
+        return *this;
+    }
+
+    /** Delay payload leaving endpoint:port by @p extra cycles. */
+    FaultPlan &
+    extraLatency(std::string endpoint, uint32_t port, Cycles extra,
+                 Cycles from = 0, Cycles until = 0)
+    {
+        linkFaults.push_back({std::move(endpoint), port,
+                              LinkFaultKind::ExtraLatency, from, until,
+                              1.0, extra});
+        return *this;
+    }
+
+    /** Kill switch port @p port at cycle @p at. */
+    FaultPlan &
+    portDown(std::string switch_name, uint32_t port, Cycles at,
+             Cycles restore_at = 0)
+    {
+        portDowns.push_back(
+            {std::move(switch_name), port, at, restore_at});
+        return *this;
+    }
+
+    /** Crash @p endpoint at cycle @p at (restart at @p restart_at). */
+    FaultPlan &
+    crashNode(std::string endpoint, Cycles at, Cycles restart_at = 0)
+    {
+        crashes.push_back({std::move(endpoint), at, restart_at});
+        return *this;
+    }
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_FAULT_FAULT_PLAN_HH

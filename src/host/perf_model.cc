@@ -109,4 +109,52 @@ estimateSimRate(const SwitchSpec &topo, const DeploymentPlan &plan,
     return est;
 }
 
+double
+expectedRetryUs(const HostFaultParams &faults)
+{
+    if (faults.batchLossProb <= 0.0)
+        return 0.0;
+    if (faults.batchLossProb > 1.0)
+        fatal("batch loss probability %f out of [0, 1]",
+              faults.batchLossProb);
+    double expected = 0.0;
+    double p_k = 1.0;       // lossProb^k accumulator
+    double wait = faults.timeoutUs;
+    for (uint32_t k = 1; k <= faults.maxRetries; ++k) {
+        p_k *= faults.batchLossProb;
+        expected += p_k * wait;
+        wait *= faults.backoffFactor;
+    }
+    return expected;
+}
+
+SimRateEstimate
+estimateSimRateDegraded(const SwitchSpec &topo, const DeploymentPlan &plan,
+                        Cycles link_latency_cycles, double target_freq_ghz,
+                        const HostPerfParams &params,
+                        const HostFaultParams &faults)
+{
+    SimRateEstimate est = estimateSimRate(topo, plan, link_latency_cycles,
+                                          target_freq_ghz, params);
+    if (faults.degradedHosts == 0)
+        return est;
+
+    // Every round, each degraded host's transfers pay the expected
+    // retry delay; the global round is gated by the slowest host, so
+    // the penalties of independent hosts overlap rather than add —
+    // except their timeout *expiries* are unsynchronized, which shows
+    // up as extra synchronization jitter with host count.
+    uint32_t hosts = plan.f1_16xlarge + plan.f1_2xlarge + plan.m4_16xlarge;
+    uint32_t degraded = std::min(faults.degradedHosts, std::max(1u, hosts));
+    double retry = expectedRetryUs(faults);
+    double jitter =
+        1.0 + params.syncJitter * std::log2(1.0 + static_cast<double>(
+                                                      degraded));
+    est.roundUs += retry * jitter;
+    est.bottleneckTransportUs += retry;
+    est.targetMhz =
+        static_cast<double>(link_latency_cycles) / est.roundUs;
+    return est;
+}
+
 } // namespace firesim

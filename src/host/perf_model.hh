@@ -85,6 +85,53 @@ SimRateEstimate estimateSimRate(const SwitchSpec &topo,
                                 double target_freq_ghz,
                                 const HostPerfParams &params = {});
 
+/**
+ * Degraded host-transport model: retry/timeout/backoff on lossy batch
+ * transfers.
+ *
+ * FireSim's token transport assumes batches are never lost; on real
+ * hosts that assumption is defended by TCP and by the simulation
+ * manager restarting failed transfers. This models the cost of that
+ * defense: a batch transfer fails with probability `batchLossProb` and
+ * is retried after `timeoutUs`, with exponential backoff
+ * (`backoffFactor`) up to `maxRetries` attempts, after which the
+ * manager declares the host dead (the fault layer, src/fault, then
+ * degrades the simulated nodes it carried to empty-token emission).
+ */
+struct HostFaultParams
+{
+    /** Probability one batch transfer times out and must be retried. */
+    double batchLossProb = 0.0;
+    /** Retry timeout for the first re-send (us). */
+    double timeoutUs = 250.0;
+    /** Multiplier applied to the timeout on every further retry. */
+    double backoffFactor = 2.0;
+    /** Retries before the host is declared dead. */
+    uint32_t maxRetries = 4;
+    /** Hosts in the deployment exhibiting this loss behaviour. */
+    uint32_t degradedHosts = 0;
+};
+
+/**
+ * Expected extra wall-clock per batch transfer under @p faults (us):
+ *   sum_{k=1..maxRetries} lossProb^k * timeoutUs * backoffFactor^(k-1).
+ */
+double expectedRetryUs(const HostFaultParams &faults);
+
+/**
+ * Like estimateSimRate, but with `faults.degradedHosts` hosts paying
+ * the expected retry/backoff penalty on every round (the decoupled
+ * fabric advances at the pace of its slowest edge, so one degraded
+ * host taxes the whole simulation). With degradedHosts == 0 the result
+ * equals estimateSimRate exactly.
+ */
+SimRateEstimate estimateSimRateDegraded(const SwitchSpec &topo,
+                                        const DeploymentPlan &plan,
+                                        Cycles link_latency_cycles,
+                                        double target_freq_ghz,
+                                        const HostPerfParams &params = {},
+                                        const HostFaultParams &faults = {});
+
 } // namespace firesim
 
 #endif // FIRESIM_HOST_PERF_MODEL_HH

@@ -75,6 +75,62 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
         node->start();
 }
 
+HealthMonitor &
+Cluster::health()
+{
+    if (!monitor_)
+        monitor_ = std::make_unique<HealthMonitor>(fabric_);
+    return *monitor_;
+}
+
+HealthMonitor &
+Cluster::health(const HealthConfig &config)
+{
+    if (monitor_)
+        fatal("health monitor already attached; its config is fixed");
+    monitor_ = std::make_unique<HealthMonitor>(fabric_, config);
+    return *monitor_;
+}
+
+void
+Cluster::injectFaults(const FaultPlan &plan)
+{
+    if (injector_)
+        fatal("cluster already has a fault plan injected");
+    if (fabric_.now() != 0)
+        warn("fault plan injected mid-run at cycle %llu",
+             (unsigned long long)fabric_.now());
+    HealthMonitor &mon = health();
+    injector_ = std::make_unique<FaultInjector>(fabric_, plan, &mon);
+}
+
+std::string
+Cluster::healthReport() const
+{
+    if (!monitor_)
+        return "Fabric health report\n  no monitor attached; run was "
+               "unobserved (and did not abort)\n";
+    std::string out = monitor_->report();
+
+    Table sw({"Switch", "Port transitions", "Flits dropped (in)",
+              "Pkts dropped (out)"});
+    bool any = false;
+    for (const auto &s : switches) {
+        const SwitchStats &st = s->stats();
+        if (st.portTransitions.value() == 0 &&
+            st.faultFlitsDroppedIn.value() == 0 &&
+            st.faultPacketsDroppedOut.value() == 0)
+            continue;
+        any = true;
+        sw.addRow({s->name(), Table::fmt(st.portTransitions.value(), 0),
+                   Table::fmt(st.faultFlitsDroppedIn.value(), 0),
+                   Table::fmt(st.faultPacketsDroppedOut.value(), 0)});
+    }
+    if (any)
+        out += sw.render();
+    return out;
+}
+
 std::string
 Cluster::statsReport()
 {

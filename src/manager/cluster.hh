@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hh"
+#include "fault/health_monitor.hh"
+#include "fault/injector.hh"
 #include "manager/topology.hh"
 #include "net/fabric.hh"
 #include "node/server_blade.hh"
@@ -127,6 +130,38 @@ class Cluster
      */
     std::string statsReport();
 
+    /**
+     * Attach a HealthMonitor (if none yet) and a FaultInjector driving
+     * @p plan. Call once, before running the simulation; the same
+     * topology + plan + seed replays bit-identically, and an empty
+     * plan leaves results bit-identical to never calling this.
+     */
+    void injectFaults(const FaultPlan &plan);
+
+    /**
+     * The fabric health monitor, attached on demand. Converts
+     * recoverable token-protocol anomalies into FaultEvents (instead
+     * of aborts) from the moment it is first requested.
+     */
+    HealthMonitor &health();
+
+    /**
+     * Like health(), but the monitor is created with @p config. When a
+     * monitor is already attached its config is fixed; asking for a
+     * different one is a user error.
+     */
+    HealthMonitor &health(const HealthConfig &config);
+
+    /** The attached injector, or nullptr when no faults were injected. */
+    FaultInjector *injector() { return injector_.get(); }
+
+    /**
+     * Post-run health report: fault/degradation events seen by the
+     * monitor plus per-switch fault-drop counters. Reports a healthy
+     * cluster when no monitor was ever attached.
+     */
+    std::string healthReport() const;
+
     /** The MAC assigned to server index @p i. */
     static MacAddr macFor(size_t i);
     /** The IP assigned to server index @p i. */
@@ -140,6 +175,8 @@ class Cluster
     SwitchSpec topo;
     ClusterConfig cfg;
     TokenFabric fabric_;
+    std::unique_ptr<HealthMonitor> monitor_;
+    std::unique_ptr<FaultInjector> injector_;
     std::vector<std::unique_ptr<NodeSystem>> nodes;
     std::vector<std::unique_ptr<Switch>> switches;
     // Parallel bookkeeping per built switch: its spec, and the server

@@ -23,33 +23,63 @@ TokenChannel::TokenChannel(Cycles latency, Cycles quantum)
     nextPopStart = 0;
 }
 
+TokenChannel::PushError
+TokenChannel::accepts(const TokenBatch &batch) const
+{
+    if (batch.len != quant)
+        return PushError::BadLength;
+    if (batch.start + lat != nextPushStart)
+        return PushError::NonContiguous;
+    return PushError::Ok;
+}
+
 void
 TokenChannel::push(TokenBatch batch)
 {
-    FS_ASSERT(batch.len == quant, "batch len %u != channel quantum %llu",
-              batch.len, (unsigned long long)quant);
+    FS_ASSERT(batch.len == quant,
+              "batch len %u != channel quantum %llu on %s", batch.len,
+              (unsigned long long)quant, lbl.c_str());
     // Restamp from production time to arrival time: a token produced at
     // cycle M is consumed at M + latency.
     batch.start += lat;
     FS_ASSERT(batch.start == nextPushStart,
-              "non-contiguous batch push: got %llu expected %llu",
-              (unsigned long long)batch.start,
+              "non-contiguous batch push on %s: got %llu expected %llu",
+              lbl.c_str(), (unsigned long long)batch.start,
               (unsigned long long)nextPushStart);
     nextPushStart += quant;
+    queue.push_back(std::move(batch));
+}
+
+void
+TokenChannel::pushRaw(TokenBatch batch)
+{
+    batch.start += lat;
     queue.push_back(std::move(batch));
 }
 
 TokenBatch
 TokenChannel::pop()
 {
-    FS_ASSERT(!queue.empty(), "pop from empty token channel");
+    FS_ASSERT(!queue.empty(), "pop from empty token channel %s",
+              lbl.c_str());
     TokenBatch batch = std::move(queue.front());
     queue.pop_front();
     FS_ASSERT(batch.start == nextPopStart,
-              "non-contiguous batch pop: got %llu expected %llu",
-              (unsigned long long)batch.start,
+              "non-contiguous batch pop on %s: got %llu expected %llu",
+              lbl.c_str(), (unsigned long long)batch.start,
               (unsigned long long)nextPopStart);
     nextPopStart += quant;
+    return batch;
+}
+
+TokenBatch
+TokenChannel::popUnchecked()
+{
+    FS_ASSERT(!queue.empty(), "pop from empty token channel %s",
+              lbl.c_str());
+    TokenBatch batch = std::move(queue.front());
+    queue.pop_front();
+    nextPopStart = batch.start + quant;
     return batch;
 }
 
@@ -147,6 +177,12 @@ TokenFabric::finalize()
         EndpointState &sb = stateFor(link.b);
         auto ab = std::make_unique<TokenChannel>(link.latency, quant);
         auto ba = std::make_unique<TokenChannel>(link.latency, quant);
+        ab->setLabel(csprintf("%s:%u->%s:%u", link.a->name().c_str(),
+                              link.portA, link.b->name().c_str(),
+                              link.portB));
+        ba->setLabel(csprintf("%s:%u->%s:%u", link.b->name().c_str(),
+                              link.portB, link.a->name().c_str(),
+                              link.portA));
         sa.out[link.portA] = ab.get();
         sb.in[link.portB] = ab.get();
         sb.out[link.portB] = ba.get();
@@ -179,27 +215,123 @@ TokenFabric::setStepOrder(std::vector<size_t> order)
 }
 
 void
+TokenFabric::addObserver(FabricObserver *observer)
+{
+    FS_ASSERT(observer != nullptr, "null fabric observer");
+    FS_ASSERT(!running, "cannot attach observers mid-run");
+    observers.push_back(observer);
+}
+
+int
+TokenFabric::endpointIndexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < endpoints.size(); ++i)
+        if (endpoints[i].endpoint->name() == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+size_t
+TokenFabric::channelIndexOf(const TokenChannel *channel) const
+{
+    for (size_t i = 0; i < channels.size(); ++i)
+        if (channels[i].get() == channel)
+            return i;
+    panic("channel %s not owned by this fabric", channel->label().c_str());
+}
+
+int
+TokenFabric::txChannelOf(size_t endpoint_idx, uint32_t port) const
+{
+    if (endpoint_idx >= endpoints.size())
+        return -1;
+    const EndpointState &state = endpoints[endpoint_idx];
+    if (port >= state.out.size() || !state.out[port])
+        return -1;
+    return static_cast<int>(channelIndexOf(state.out[port]));
+}
+
+bool
+TokenFabric::reportAnomaly(FabricObserver::Anomaly kind,
+                           size_t endpoint_idx, uint32_t port,
+                           const TokenChannel *channel,
+                           const TokenBatch &batch)
+{
+    size_t chan_idx = channelIndexOf(channel);
+    bool recovered = false;
+    for (FabricObserver *obs : observers)
+        recovered |= obs->onAnomaly(kind, endpoint_idx, port, chan_idx,
+                                    curCycle, batch);
+    return recovered;
+}
+
+void
 TokenFabric::run(Cycles cycles)
 {
     FS_ASSERT(finalized, "run() before finalize()");
+    running = true;
     Cycles target = curCycle + cycles;
     std::vector<const TokenBatch *> in;
     std::vector<TokenBatch> popped;
     std::vector<TokenBatch> out;
 
     while (curCycle < target) {
+        for (FabricObserver *obs : observers)
+            obs->onRoundStart(curCycle, roundCount);
+
         for (size_t idx : stepOrder) {
             EndpointState &state = endpoints[idx];
             uint32_t ports = state.endpoint->numPorts();
+
+            bool down = false;
+            for (FabricObserver *obs : observers)
+                down |= obs->endpointDown(idx, curCycle);
 
             popped.clear();
             popped.reserve(ports);
             in.clear();
             for (uint32_t p = 0; p < ports; ++p) {
-                FS_ASSERT(state.in[p]->ready(),
-                          "channel underflow into %s:%u",
-                          state.endpoint->name().c_str(), p);
-                popped.push_back(state.in[p]->pop());
+                TokenChannel *chan = state.in[p];
+                if (observers.empty()) {
+                    FS_ASSERT(chan->ready(),
+                              "channel underflow into %s:%u",
+                              state.endpoint->name().c_str(), p);
+                    popped.push_back(chan->pop());
+                    continue;
+                }
+                // Monitored path: report-and-repair instead of abort.
+                if (!chan->ready()) {
+                    TokenBatch missing(chan->nextPopCycle(),
+                                       static_cast<uint32_t>(quant));
+                    if (!reportAnomaly(
+                            FabricObserver::Anomaly::ChannelUnderflow,
+                            idx, p, chan, missing)) {
+                        panic("channel underflow into %s:%u (%s)",
+                              state.endpoint->name().c_str(), p,
+                              chan->label().c_str());
+                    }
+                    popped.emplace_back(curCycle,
+                                        static_cast<uint32_t>(quant));
+                    continue;
+                }
+                TokenBatch batch = chan->popUnchecked();
+                if (batch.start != curCycle) {
+                    if (!reportAnomaly(
+                            FabricObserver::Anomaly::StaleBatch, idx,
+                            p, chan, batch)) {
+                        panic("non-contiguous batch pop on %s: got %llu "
+                              "expected %llu",
+                              chan->label().c_str(),
+                              (unsigned long long)batch.start,
+                              (unsigned long long)curCycle);
+                    }
+                    // Recover by restamping the payload into the
+                    // current window (a real lossy transport delivers
+                    // late tokens late).
+                    batch.start = curCycle;
+                    batch.len = static_cast<uint32_t>(quant);
+                }
+                popped.push_back(std::move(batch));
             }
             for (uint32_t p = 0; p < ports; ++p)
                 in.push_back(&popped[p]);
@@ -208,15 +340,49 @@ TokenFabric::run(Cycles cycles)
             for (uint32_t p = 0; p < ports; ++p)
                 out.emplace_back(curCycle, static_cast<uint32_t>(quant));
 
-            state.endpoint->advance(curCycle, quant, in, out);
+            if (down) {
+                // Graceful degradation: a crashed / stalled endpoint
+                // keeps the token protocol alive with empty batches so
+                // every other endpoint stays cycle-exact.
+                for (FabricObserver *obs : observers)
+                    obs->onEndpointSkipped(idx, curCycle);
+            } else {
+                state.endpoint->advance(curCycle, quant, in, out);
+            }
 
             for (uint32_t p = 0; p < ports; ++p) {
-                state.out[p]->push(std::move(out[p]));
+                TokenChannel *chan = state.out[p];
+                if (!observers.empty()) {
+                    size_t chan_idx = channelIndexOf(chan);
+                    for (FabricObserver *obs : observers)
+                        obs->onTransmit(chan_idx, out[p]);
+                    TokenChannel::PushError err = chan->accepts(out[p]);
+                    if (err != TokenChannel::PushError::Ok) {
+                        auto kind =
+                            err == TokenChannel::PushError::BadLength
+                                ? FabricObserver::Anomaly::BadLength
+                                : FabricObserver::Anomaly::NonContiguous;
+                        if (reportAnomaly(kind, idx, p, chan, out[p])) {
+                            // Substitute a well-formed empty batch to
+                            // keep the channel's token stream intact.
+                            out[p] = TokenBatch(
+                                curCycle, static_cast<uint32_t>(quant));
+                        }
+                        // else: fall through to push(), which aborts
+                        // with the channel label.
+                    }
+                }
+                chan->push(std::move(out[p]));
                 ++batchCount;
             }
         }
+
+        for (FabricObserver *obs : observers)
+            obs->onRoundEnd(curCycle, roundCount);
         curCycle += quant;
+        ++roundCount;
     }
+    running = false;
 }
 
 } // namespace firesim

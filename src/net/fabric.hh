@@ -17,6 +17,13 @@
  * and produces one per output port each round, so channel occupancy is
  * invariant and results are independent of the order in which endpoints
  * are stepped (property-tested in tests/net).
+ *
+ * Fault modeling and health monitoring: FabricObservers (src/fault) may
+ * attach to the fabric to take endpoints down, mutate in-flight batches,
+ * and convert token-protocol violations — an endpoint that stops
+ * producing well-formed batches — into structured diagnostics instead of
+ * aborts. With no observers attached the fabric behaves exactly as it
+ * always has: protocol violations are hard invariant failures.
  */
 
 #ifndef FIRESIM_NET_FABRIC_HH
@@ -39,6 +46,14 @@ namespace firesim
 class TokenChannel
 {
   public:
+    /** Why a batch cannot be accepted (see accepts()). */
+    enum class PushError
+    {
+        Ok,            //!< batch is well formed and contiguous
+        BadLength,     //!< batch length differs from the channel quantum
+        NonContiguous, //!< batch start does not extend the token stream
+    };
+
     /**
      * @param latency link latency in cycles
      * @param quantum batch length in cycles (must divide latency)
@@ -48,8 +63,28 @@ class TokenChannel
     Cycles latency() const { return lat; }
     Cycles quantum() const { return quant; }
 
+    /**
+     * Debug label naming the producing and consuming endpoint:port,
+     * set by TokenFabric::connect and reported in protocol-violation
+     * diagnostics (a bare cycle number is useless in a 64-node run).
+     */
+    const std::string &label() const { return lbl; }
+    void setLabel(std::string label) { lbl = std::move(label); }
+
+    /** Check whether push(batch) would satisfy the token protocol. */
+    PushError accepts(const TokenBatch &batch) const;
+
     /** Producer side: enqueue the next batch. */
     void push(TokenBatch batch);
+
+    /**
+     * Testing / fault-injection hook: enqueue a batch with the usual
+     * production-to-arrival restamp but *without* the contiguity check
+     * and without touching the producer-side bookkeeping, deliberately
+     * corrupting the token stream so consumer-side error handling can
+     * be exercised.
+     */
+    void pushRaw(TokenBatch batch);
 
     /** Consumer side: true when a batch is ready. */
     bool ready() const { return !queue.empty(); }
@@ -57,12 +92,29 @@ class TokenChannel
     /** Consumer side: dequeue the next batch. */
     TokenBatch pop();
 
+    /**
+     * Consumer side: dequeue without the contiguity invariant check.
+     * Used by the fabric's health-monitored path, which reports and
+     * repairs non-contiguous streams instead of aborting.
+     */
+    TokenBatch popUnchecked();
+
+    /** Arrival cycle the next pop() is expected to carry. */
+    Cycles nextPopCycle() const { return nextPopStart; }
+
     /** Number of buffered batches. */
     size_t depth() const { return queue.size(); }
+
+    /** Steady-state depth: latency/quantum batches are always in flight. */
+    size_t expectedDepth() const
+    {
+        return static_cast<size_t>(lat / quant);
+    }
 
   private:
     Cycles lat;
     Cycles quant;
+    std::string lbl = "unnamed-channel";
     Cycles nextPushStart = 0; //!< producer-side batch start bookkeeping
     Cycles nextPopStart = 0;  //!< consumer-side expected batch start
     std::deque<TokenBatch> queue;
@@ -96,6 +148,95 @@ class TokenEndpoint
     virtual void advance(Cycles window_start, Cycles window,
                          const std::vector<const TokenBatch *> &in,
                          std::vector<TokenBatch> &out) = 0;
+};
+
+/**
+ * Hook interface for fault injection and health monitoring (src/fault).
+ * All callbacks default to no-ops; a fabric with no observers — or only
+ * no-op observers — simulates bit-identically to one without the hooks.
+ *
+ * Callback order within a round:
+ *   onRoundStart -> per endpoint: endpointDown? -> [input anomalies]
+ *   -> advance or skip -> per port: onTransmit -> [output anomalies]
+ *   -> onRoundEnd
+ * Observers fire in registration order; endpointDown answers are OR-ed.
+ */
+class FabricObserver
+{
+  public:
+    /** Anomaly classes the monitored fabric can recover from. */
+    enum class Anomaly
+    {
+        BadLength,        //!< endpoint produced a wrong-length batch
+        NonContiguous,    //!< batch does not extend the token stream
+        StaleBatch,       //!< popped batch not for the current window
+        ChannelUnderflow, //!< input channel had no batch ready
+    };
+
+    virtual ~FabricObserver() = default;
+
+    /** Called once at the start of every round. */
+    virtual void onRoundStart(Cycles round_start, uint64_t round)
+    {
+        (void)round_start;
+        (void)round;
+    }
+
+    /**
+     * True when endpoint @p endpoint_idx must not run this round: the
+     * fabric discards its inputs and emits empty token batches on its
+     * behalf, keeping the rest of the cluster cycle-exact.
+     */
+    virtual bool endpointDown(size_t endpoint_idx, Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)round_start;
+        return false;
+    }
+
+    /** Notification that a down endpoint was skipped this round. */
+    virtual void onEndpointSkipped(size_t endpoint_idx, Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)round_start;
+    }
+
+    /**
+     * Mutate an outbound batch before it enters its channel. Called for
+     * every produced batch, including the empty ones emitted on behalf
+     * of down endpoints (so e.g. delayed payload can still drain).
+     */
+    virtual void onTransmit(size_t channel_idx, TokenBatch &batch)
+    {
+        (void)channel_idx;
+        (void)batch;
+    }
+
+    /**
+     * A token-protocol violation was detected at @p endpoint_idx /
+     * @p port. Return true to recover: the fabric substitutes a
+     * well-formed batch (empty on the output side, restamped on the
+     * input side) and continues. Return false to abort as before.
+     */
+    virtual bool onAnomaly(Anomaly kind, size_t endpoint_idx, uint32_t port,
+                           size_t channel_idx, Cycles round_start,
+                           const TokenBatch &batch)
+    {
+        (void)kind;
+        (void)endpoint_idx;
+        (void)port;
+        (void)channel_idx;
+        (void)round_start;
+        (void)batch;
+        return false;
+    }
+
+    /** Called once at the end of every round. */
+    virtual void onRoundEnd(Cycles round_start, uint64_t round)
+    {
+        (void)round_start;
+        (void)round;
+    }
 };
 
 /**
@@ -142,11 +283,41 @@ class TokenFabric
     /** Current target cycle (all endpoints have advanced this far). */
     Cycles now() const { return curCycle; }
 
+    /** Number of completed rounds. */
+    uint64_t round() const { return roundCount; }
+
     /** Round quantum in cycles (min link latency). */
     Cycles quantum() const { return quant; }
 
     /** Total batches moved across all channels so far (host traffic). */
     uint64_t batchesMoved() const { return batchCount; }
+
+    /**
+     * Attach a fault-injection / health-monitoring observer. Callbacks
+     * fire in registration order. May be called after finalize() (the
+     * observers typically need the finalized channel list to resolve
+     * their targets); must not be called mid-run. The fabric does not
+     * take ownership.
+     */
+    void addObserver(FabricObserver *observer);
+
+    // ---- Introspection for observers and diagnostics ----------------
+
+    size_t endpointCount() const { return endpoints.size(); }
+    TokenEndpoint &endpointAt(size_t idx) const
+    {
+        return *endpoints.at(idx).endpoint;
+    }
+    /** Index of the endpoint named @p name, or -1. */
+    int endpointIndexOf(const std::string &name) const;
+
+    size_t channelCount() const { return channels.size(); }
+    TokenChannel &channelAt(size_t idx) const { return *channels.at(idx); }
+    /**
+     * Index of the channel carrying tokens *out of* port @p port of
+     * endpoint @p endpoint_idx, or -1. Requires finalize().
+     */
+    int txChannelOf(size_t endpoint_idx, uint32_t port) const;
 
     /**
      * Testing hook: permute the endpoint stepping order. Results must
@@ -174,15 +345,29 @@ class TokenFabric
 
     EndpointState &stateFor(TokenEndpoint *endpoint);
 
+    /** Index into `channels` of @p channel (for observer callbacks). */
+    size_t channelIndexOf(const TokenChannel *channel) const;
+
+    /**
+     * Report @p kind to the observers; returns true when some observer
+     * recovered it. Aborts with the channel's label otherwise.
+     */
+    bool reportAnomaly(FabricObserver::Anomaly kind, size_t endpoint_idx,
+                       uint32_t port, const TokenChannel *channel,
+                       const TokenBatch &batch);
+
     Cycles functionalWindow = 0; //!< 0 = cycle-exact timing
     std::vector<Link> pendingLinks;
     std::vector<EndpointState> endpoints;
     std::vector<std::unique_ptr<TokenChannel>> channels;
+    std::vector<FabricObserver *> observers;
     std::vector<size_t> stepOrder;
     Cycles quant = 0;
     Cycles curCycle = 0;
+    uint64_t roundCount = 0;
     uint64_t batchCount = 0;
     bool finalized = false;
+    bool running = false;
 };
 
 } // namespace firesim

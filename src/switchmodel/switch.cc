@@ -12,6 +12,40 @@ Switch::Switch(SwitchConfig config)
         fatal("switch '%s' needs at least one port", cfg.name.c_str());
     assemblers.resize(cfg.ports);
     outputs.resize(cfg.ports);
+    portDown_.assign(cfg.ports, false);
+}
+
+void
+Switch::setPortDown(uint32_t port, bool down)
+{
+    if (port >= cfg.ports)
+        fatal("setPortDown(%u) on %u-port switch '%s'", port, cfg.ports,
+              cfg.name.c_str());
+    if (portDown_[port] == down)
+        return;
+    portDown_[port] = down;
+    ++stats_.portTransitions;
+    if (down) {
+        // The cable is dead: lose any half-assembled ingress frame and
+        // everything buffered for egress on this port.
+        assemblers[port].reset();
+        OutputPort &out = outputs[port];
+        stats_.faultPacketsDroppedOut += out.queue.size();
+        out.queue.clear();
+        if (out.active) {
+            ++stats_.faultPacketsDroppedOut;
+            out.active.reset();
+            out.activePos = 0;
+        }
+    }
+}
+
+bool
+Switch::portUp(uint32_t port) const
+{
+    FS_ASSERT(port < cfg.ports, "portUp(%u) on %u-port switch", port,
+              cfg.ports);
+    return !portDown_[port];
 }
 
 void
@@ -54,6 +88,10 @@ Switch::ingress(Cycles window_start, const std::vector<const TokenBatch *> &in)
         const TokenBatch &batch = *in[p];
         FS_ASSERT(batch.start == window_start,
                   "stale input batch at %s:%u", cfg.name.c_str(), p);
+        if (portDown_[p]) {
+            stats_.faultFlitsDroppedIn += batch.flits.size();
+            continue;
+        }
         for (const Flit &flit : batch.flits) {
             EthFrame frame;
             if (assemblers[p].feed(flit, batch.absCycle(flit), frame)) {
@@ -133,6 +171,12 @@ Switch::egress(Cycles window_start, Cycles window, std::vector<TokenBatch> &out)
     Cycles window_end = window_start + window;
     for (uint32_t p = 0; p < cfg.ports; ++p) {
         OutputPort &port = outputs[p];
+        if (portDown_[p]) {
+            // Packets routed here after the port went down are lost.
+            stats_.faultPacketsDroppedOut += port.queue.size();
+            port.queue.clear();
+            continue;
+        }
         if (port.cursor < window_start)
             port.cursor = window_start;
 

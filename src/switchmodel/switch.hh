@@ -67,6 +67,13 @@ struct SwitchStats
     Counter bytesIn;
     Counter bytesOut;
     Counter broadcasts;
+    /** Flits discarded at the ingress of an administratively-down port
+     *  (fault injection, src/fault). */
+    Counter faultFlitsDroppedIn;
+    /** Queued packets discarded because their egress port went down. */
+    Counter faultPacketsDroppedOut;
+    /** Port up/down transitions applied to this switch. */
+    Counter portTransitions;
 };
 
 /**
@@ -96,6 +103,19 @@ class Switch : public TokenEndpoint
 
     /** Look up the output port for @p mac (nullopt -> flood). */
     std::optional<uint32_t> lookupMac(MacAddr mac) const;
+
+    /**
+     * Take a port down (or bring it back up) — the fault-injection
+     * entry point for modeling a dead cable / dead switch port. While
+     * down, flits arriving at the port are discarded (any partial frame
+     * is dropped), queued egress packets for the port are discarded,
+     * and nothing is emitted onto the link, so the far endpoint simply
+     * sees empty tokens and the cluster stays cycle-exact.
+     */
+    void setPortDown(uint32_t port, bool down);
+
+    /** True when @p port is administratively up. */
+    bool portUp(uint32_t port) const;
 
     const SwitchStats &stats() const { return stats_; }
     const SwitchConfig &config() const { return cfg; }
@@ -154,6 +174,7 @@ class Switch : public TokenEndpoint
     SwitchConfig cfg;
     SwitchStats stats_;
     std::map<uint64_t, uint32_t> macTable;
+    std::vector<bool> portDown_; //!< administratively-down ports
 
     std::vector<FrameAssembler> assemblers;      //!< per input port
     /** Packets completed at ingress this round, pending the switching

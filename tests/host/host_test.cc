@@ -111,6 +111,66 @@ TEST(PerfModel, SupernodePaysPcieMultiplexingAtSmallScale)
     EXPECT_LT(super_plan.fpgas, std_plan.fpgas);
 }
 
+TEST(PerfModel, ExpectedRetryCostIsZeroOnLosslessTransport)
+{
+    HostFaultParams faults;
+    EXPECT_DOUBLE_EQ(expectedRetryUs(faults), 0.0);
+    // One retry tier: p * timeout.
+    faults.batchLossProb = 0.1;
+    faults.timeoutUs = 100.0;
+    faults.maxRetries = 1;
+    EXPECT_DOUBLE_EQ(expectedRetryUs(faults), 10.0);
+    // Two tiers with backoff 2: p*t + p^2*2t.
+    faults.maxRetries = 2;
+    EXPECT_DOUBLE_EQ(expectedRetryUs(faults), 10.0 + 0.01 * 200.0);
+}
+
+TEST(PerfModel, RetryCostGrowsWithLossProbability)
+{
+    HostFaultParams faults;
+    double prev = 0.0;
+    for (double p : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+        faults.batchLossProb = p;
+        double cost = expectedRetryUs(faults);
+        EXPECT_GT(cost, prev) << p;
+        prev = cost;
+    }
+}
+
+TEST(PerfModel, NoDegradedHostsMeansNoPenalty)
+{
+    SwitchSpec topo = topologies::twoLevel(8, 8);
+    DeploymentPlan plan = planDeployment(topo, false);
+    SimRateEstimate clean = estimateSimRate(topo, plan, 6400, 3.2);
+    HostFaultParams faults;
+    faults.batchLossProb = 0.5; // irrelevant: nobody is degraded
+    SimRateEstimate est = estimateSimRateDegraded(topo, plan, 6400, 3.2,
+                                                  HostPerfParams{}, faults);
+    EXPECT_DOUBLE_EQ(est.targetMhz, clean.targetMhz);
+    EXPECT_DOUBLE_EQ(est.roundUs, clean.roundUs);
+}
+
+TEST(PerfModel, DegradedHostSlowsTheWholeSimulation)
+{
+    // The decoupled fabric advances at the pace of its slowest edge:
+    // one lossy host taxes the global rate, and more loss taxes it
+    // more.
+    SwitchSpec topo = topologies::twoLevel(8, 8);
+    DeploymentPlan plan = planDeployment(topo, false);
+    SimRateEstimate clean = estimateSimRate(topo, plan, 6400, 3.2);
+    double prev = clean.targetMhz;
+    for (double p : {0.01, 0.1, 0.25}) {
+        HostFaultParams faults;
+        faults.batchLossProb = p;
+        faults.degradedHosts = 1;
+        SimRateEstimate est = estimateSimRateDegraded(
+            topo, plan, 6400, 3.2, HostPerfParams{}, faults);
+        EXPECT_LT(est.targetMhz, prev) << p;
+        EXPECT_GT(est.roundUs, clean.roundUs) << p;
+        prev = est.targetMhz;
+    }
+}
+
 TEST(PerfModel, ReportsBottleneckBreakdown)
 {
     SwitchSpec topo = topologies::threeLevel(4, 8, 32);

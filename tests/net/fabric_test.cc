@@ -55,6 +55,50 @@ TEST(TokenChannelDeath, QuantumMustDivideLatency)
     EXPECT_DEATH(TokenChannel(100, 33), "divide");
 }
 
+TEST(TokenChannelDeath, PopFromEmptyIsFatal)
+{
+    TokenChannel ch(100, 100);
+    ch.setLabel("lonely");
+    ch.pop(); // consume the seed batch
+    EXPECT_DEATH(ch.pop(), "pop from empty token channel lonely");
+}
+
+TEST(TokenChannelDeath, NonContiguousPushNamesTheChannel)
+{
+    TokenChannel ch(100, 100);
+    ch.setLabel("A:0->B:0");
+    EXPECT_DEATH(ch.push(TokenBatch(50, 100)),
+                 "non-contiguous batch push on A:0->B:0");
+}
+
+TEST(TokenChannelDeath, RawCorruptionDiesOnNonContiguousPop)
+{
+    // pushRaw deliberately skips the contiguity check; the consumer
+    // still catches the corrupted stream.
+    TokenChannel ch(100, 100);
+    ch.setLabel("A:0->B:0");
+    ch.pop();                          // consume the seed batch
+    ch.pushRaw(TokenBatch(900, 100));  // stream expects start 0
+    EXPECT_DEATH(ch.pop(), "non-contiguous batch pop on A:0->B:0");
+}
+
+TEST(TokenFabric, FinalizeLabelsEveryChannel)
+{
+    ScriptedEndpoint a("A"), b("B");
+    TokenFabric fabric;
+    fabric.addEndpoint(&a);
+    fabric.addEndpoint(&b);
+    fabric.connect(&a, 0, &b, 0, 100);
+    fabric.finalize();
+    ASSERT_EQ(fabric.channelCount(), 2u);
+    int ab = fabric.txChannelOf(0, 0);
+    int ba = fabric.txChannelOf(1, 0);
+    ASSERT_GE(ab, 0);
+    ASSERT_GE(ba, 0);
+    EXPECT_EQ(fabric.channelAt(ab).label(), "A:0->B:0");
+    EXPECT_EQ(fabric.channelAt(ba).label(), "B:0->A:0");
+}
+
 class FabricPairTest : public ::testing::Test
 {
   protected:

@@ -107,6 +107,16 @@ TEST(PrioritySwitch, AllTrafficStillDelivered)
     EXPECT_EQ(prio.sw->stats().packetsDropped.value(), 0u);
 }
 
+TEST(PrioritySwitch, InheritsPortDownFaultHandling)
+{
+    SwitchConfig cfg;
+    cfg.ports = 2;
+    PrioritySwitch sw(cfg);
+    sw.setPortDown(0, true);
+    EXPECT_FALSE(sw.portUp(0));
+    EXPECT_EQ(sw.stats().portTransitions.value(), 1u);
+}
+
 TEST(PrioritySwitch, ElephantOnlyTrafficMatchesFifoExactly)
 {
     // Without mice the policy must be byte- and cycle-identical to the

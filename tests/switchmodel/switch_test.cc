@@ -272,6 +272,52 @@ TEST(SwitchDrops, TwoToOneOverloadExceedsDropBound)
     EXPECT_EQ(c.received.size(), sw.stats().packetsOut.value());
 }
 
+TEST_F(TwoServerSwitchTest, DownedPortDropsIngressAndEgress)
+{
+    build();
+    sw->setPortDown(0, true);
+    EXPECT_FALSE(sw->portUp(0));
+    EXPECT_TRUE(sw->portUp(1));
+    a->sendAt(50, frameTo(MacAddr(0xb), MacAddr(0xa), 3, 1)); // ingress
+    b->sendAt(50, frameTo(MacAddr(0xa), MacAddr(0xb), 3, 2)); // egress
+    fabric.run(1000);
+    EXPECT_TRUE(a->received.empty());
+    EXPECT_TRUE(b->received.empty());
+    // A's 3 flits died at the dead input port; B's packet switched fine
+    // but died at the dead output port.
+    EXPECT_EQ(sw->stats().faultFlitsDroppedIn.value(), 3u);
+    EXPECT_EQ(sw->stats().faultPacketsDroppedOut.value(), 1u);
+    EXPECT_EQ(sw->stats().portTransitions.value(), 1u);
+
+    // Restore the port: traffic flows again.
+    sw->setPortDown(0, false);
+    EXPECT_EQ(sw->stats().portTransitions.value(), 2u);
+    a->sendAt(1050, frameTo(MacAddr(0xb), MacAddr(0xa), 3, 3));
+    fabric.run(1000);
+    ASSERT_EQ(b->received.size(), 1u);
+    EXPECT_EQ(b->received[0].second.payload()[0], 3);
+}
+
+TEST(SwitchPortDown, RedundantTransitionsDoNotCount)
+{
+    SwitchConfig cfg;
+    cfg.ports = 2;
+    Switch sw(cfg);
+    sw.setPortDown(1, true);
+    sw.setPortDown(1, true); // no-op
+    sw.setPortDown(1, false);
+    EXPECT_EQ(sw.stats().portTransitions.value(), 2u);
+}
+
+TEST(SwitchPortDownDeath, PortRangeChecked)
+{
+    SwitchConfig cfg;
+    cfg.ports = 2;
+    Switch sw(cfg);
+    EXPECT_EXIT(sw.setPortDown(7, true), ::testing::ExitedWithCode(1),
+                "2-port");
+}
+
 TEST(SwitchConfigDeath, ZeroPortsRejected)
 {
     SwitchConfig cfg;
