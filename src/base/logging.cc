@@ -86,6 +86,18 @@ inform(const char *fmt, ...)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
 std::string
 csprintf(const char *fmt, ...)
 {

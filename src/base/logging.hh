@@ -44,6 +44,21 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational message if the log level admits it. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Print a debug message if the log level admits it. Verbose paths
+ * (telemetry sampling, trace draining) report through this so they are
+ * silent at the default level but traceable with
+ * setLogLevel(LogLevel::Debug).
+ */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** True when debug() currently emits; guards costly message setup. */
+inline bool
+debugEnabled()
+{
+    return logLevel() >= LogLevel::Debug;
+}
+
 /** printf-style formatting into a std::string. */
 std::string csprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -10,12 +10,14 @@
 #define FIRESIM_BASE_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/random.hh"
 
 namespace firesim
 {
@@ -34,52 +36,83 @@ class Counter
 };
 
 /**
- * Collects samples and answers mean/min/max/percentile queries exactly.
+ * Collects samples and answers mean/min/max/percentile queries.
  * Percentile queries sort a scratch copy lazily; sampling is O(1).
+ *
+ * By default every sample is retained and percentiles are exact. For
+ * open-ended runs (AutoCounter sampling over hours of target time)
+ * setReservoir() caps memory: mean/min/max/count stay exact, while
+ * percentiles come from a deterministic reservoir downsample.
  */
 class Histogram
 {
   public:
+    /**
+     * Switch to O(1)-memory bounded mode *before* the first sample:
+     * retain at most @p cap samples via reservoir downsampling
+     * (Algorithm R) driven by the deterministic base/random.hh stream
+     * seeded with @p seed — the same run always keeps the same
+     * samples. Exact (unbounded) mode remains the default.
+     */
+    void
+    setReservoir(size_t cap, uint64_t seed)
+    {
+        if (cap == 0)
+            panic("histogram reservoir capacity must be nonzero");
+        if (n != 0)
+            panic("setReservoir() after %llu samples were collected",
+                  (unsigned long long)n);
+        cap_ = cap;
+        rng.reseed(seed);
+        values.reserve(cap);
+    }
+
     void
     sample(double value)
     {
-        values.push_back(value);
+        // Running aggregates are exact in both modes.
+        sum += value;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+        ++n;
+        if (cap_ == 0 || values.size() < cap_) {
+            values.push_back(value);
+        } else {
+            // Reservoir: keep each of the n samples with P = cap/n.
+            uint64_t j = rng.below(n);
+            if (j < cap_)
+                values[j] = value;
+            else
+                return; // retained set unchanged; stays sorted
+        }
         sorted = false;
     }
 
-    size_t count() const { return values.size(); }
+    /** Total samples observed (exact, including downsampled-away). */
+    size_t count() const { return static_cast<size_t>(n); }
+
+    /** Samples currently retained (== count() in exact mode). */
+    size_t retained() const { return values.size(); }
+
+    /** Reservoir capacity, or 0 in exact mode. */
+    size_t reservoirCap() const { return cap_; }
 
     double
     mean() const
     {
-        if (values.empty())
-            return 0.0;
-        double sum = 0.0;
-        for (double v : values)
-            sum += v;
-        return sum / static_cast<double>(values.size());
+        return n ? sum / static_cast<double>(n) : 0.0;
     }
 
-    double
-    min() const
-    {
-        double m = std::numeric_limits<double>::infinity();
-        for (double v : values)
-            m = std::min(m, v);
-        return values.empty() ? 0.0 : m;
-    }
-
-    double
-    max() const
-    {
-        double m = -std::numeric_limits<double>::infinity();
-        for (double v : values)
-            m = std::max(m, v);
-        return values.empty() ? 0.0 : m;
-    }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
 
     /**
-     * Exact percentile via nearest-rank on the sorted samples.
+     * Percentile with linear interpolation between the two nearest
+     * ranks of the sorted retained samples (exclusive method): p maps
+     * to rank p/100 * (N-1), and fractional ranks blend neighbouring
+     * samples — p50 of {1..100} is 50.5, a value that never occurred.
+     * Use percentileNearestRank() where exact-rank semantics matter.
+     * Exact in default mode; reservoir-approximate in bounded mode.
      * @param p percentile in [0, 100].
      */
     double
@@ -91,10 +124,32 @@ class Histogram
             panic("percentile %f out of range", p);
         ensureSorted();
         double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-        size_t lo = static_cast<size_t>(rank);
-        size_t hi = std::min(lo + 1, values.size() - 1);
-        double frac = rank - static_cast<double>(lo);
-        return scratch[lo] * (1.0 - frac) + scratch[hi] * frac;
+        size_t lo_idx = static_cast<size_t>(rank);
+        size_t hi_idx = std::min(lo_idx + 1, values.size() - 1);
+        double frac = rank - static_cast<double>(lo_idx);
+        return scratch[lo_idx] * (1.0 - frac) + scratch[hi_idx] * frac;
+    }
+
+    /**
+     * Nearest-rank percentile: the smallest retained sample such that
+     * at least p% of the retained samples are <= it. Always returns a
+     * value that actually occurred (telemetry dumps report through
+     * this so a logged p99 is a real observation).
+     * @param p percentile in [0, 100].
+     */
+    double
+    percentileNearestRank(double p) const
+    {
+        if (values.empty())
+            return 0.0;
+        if (p < 0.0 || p > 100.0)
+            panic("percentile %f out of range", p);
+        ensureSorted();
+        size_t rank = static_cast<size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(values.size())));
+        if (rank > 0)
+            --rank; // 1-based rank to 0-based index
+        return scratch[std::min(rank, values.size() - 1)];
     }
 
     void
@@ -103,8 +158,13 @@ class Histogram
         values.clear();
         scratch.clear();
         sorted = false;
+        sum = 0.0;
+        n = 0;
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
     }
 
+    /** Retained samples in arrival (exact) or reservoir order. */
     const std::vector<double> &samples() const { return values; }
 
   private:
@@ -121,6 +181,12 @@ class Histogram
     std::vector<double> values;
     mutable std::vector<double> scratch;
     mutable bool sorted = false;
+    size_t cap_ = 0; //!< 0 = exact mode
+    Random rng;
+    double sum = 0.0;
+    uint64_t n = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
 };
 
 /** A running average that does not retain samples. */

@@ -71,8 +71,80 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
 
     fabric_.finalize();
 
+    if (cfg.telemetry.enabled)
+        setupTelemetry();
+
     for (auto &node : nodes)
         node->start();
+}
+
+Cluster::~Cluster()
+{
+    if (telemetry_)
+        telemetry_->dumpAtExit(fabric_.now());
+}
+
+void
+Cluster::run(Cycles cycles)
+{
+    if (telemetry_) {
+        telemetry_->simRate().beginPhase(
+            csprintf("run.%llu", (unsigned long long)fabric_.now()),
+            fabric_.now());
+        fabric_.run(cycles);
+        telemetry_->simRate().endPhase(fabric_.now());
+    } else {
+        fabric_.run(cycles);
+    }
+}
+
+void
+Cluster::setupTelemetry()
+{
+    telemetry_ = std::make_unique<Telemetry>(cfg.telemetry);
+    StatRegistry &reg = telemetry_->registry();
+
+    for (auto &s : switches)
+        s->registerStats(reg, "cluster." + s->name());
+
+    for (auto &node : nodes) {
+        std::string prefix = "cluster." + node->name();
+        node->blade().registerStats(reg, prefix);
+
+        const NetStackStats &ns = node->net().stats();
+        reg.registerCounter(prefix + ".net.framesTx", ns.framesTx);
+        reg.registerCounter(prefix + ".net.framesRx", ns.framesRx);
+        reg.registerCounter(prefix + ".net.icmpEchoed", ns.icmpEchoed);
+        reg.registerCounter(prefix + ".net.udpDelivered", ns.udpDelivered);
+        reg.registerCounter(prefix + ".net.udpNoPort", ns.udpNoPort);
+        reg.registerCounter(prefix + ".net.socketOverflowDrops",
+                            ns.socketOverflowDrops);
+
+        const SimOS *os = &node->os();
+        reg.registerProbe(prefix + ".os.busyCycles", [os] {
+            return static_cast<double>(os->busyCycles());
+        });
+    }
+
+    const TokenFabric *fab = &fabric_;
+    reg.registerProbe("cluster.fabric.rounds",
+                      [fab] { return static_cast<double>(fab->round()); });
+    reg.registerProbe("cluster.fabric.batchesMoved", [fab] {
+        return static_cast<double>(fab->batchesMoved());
+    });
+
+    telemetry_->attach(fabric_);
+
+    if (HostProfiler *prof = telemetry_->profiler()) {
+        for (size_t i = 0; i < fabric_.endpointCount(); ++i) {
+            const TokenEndpoint *ep = &fabric_.endpointAt(i);
+            bool is_switch = false;
+            for (const auto &s : switches)
+                is_switch = is_switch || s.get() == ep;
+            prof->labelEndpoint(i, ep->name(),
+                                is_switch ? "switch" : "blade");
+        }
+    }
 }
 
 HealthMonitor &

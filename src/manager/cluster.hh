@@ -33,6 +33,7 @@
 #include "os/netstack.hh"
 #include "os/simos.hh"
 #include "switchmodel/switch.hh"
+#include "telemetry/telemetry.hh"
 
 namespace firesim
 {
@@ -91,6 +92,12 @@ struct ClusterConfig
      * host rounds shrink accordingly. 0 = cycle-exact (default).
      */
     Cycles functionalWindow = 0;
+    /**
+     * Out-of-band telemetry (src/telemetry): stat registry, AutoCounter
+     * sampling, host profiling. Off by default — with enabled false the
+     * Cluster allocates nothing and attaches no observers.
+     */
+    TelemetryConfig telemetry;
 };
 
 class Cluster
@@ -102,8 +109,12 @@ class Cluster
      */
     Cluster(SwitchSpec root, ClusterConfig config);
 
-    /** Advance the whole target by @p cycles. */
-    void run(Cycles cycles) { fabric_.run(cycles); }
+    /** Dumps telemetry into TelemetryConfig::dumpDir when configured. */
+    ~Cluster();
+
+    /** Advance the whole target by @p cycles. Each call is one
+     *  SimRateTelemetry phase when telemetry is enabled. */
+    void run(Cycles cycles);
 
     /** Advance by @p us of target time. */
     void runUs(double us)
@@ -156,6 +167,13 @@ class Cluster
     FaultInjector *injector() { return injector_.get(); }
 
     /**
+     * The telemetry bundle, or nullptr when ClusterConfig::telemetry
+     * was not enabled. Every component counter is registered under
+     * "cluster.<component>.*" in telemetry()->registry().
+     */
+    Telemetry *telemetry() { return telemetry_.get(); }
+
+    /**
      * Post-run health report: fault/degradation events seen by the
      * monitor plus per-switch fault-drop counters. Reports a healthy
      * cluster when no monitor was ever attached.
@@ -172,6 +190,10 @@ class Cluster
      *  the index of the switch built for @p spec. */
     size_t buildSubtree(const SwitchSpec &spec, uint32_t depth);
 
+    /** Build the telemetry bundle, register every component's stats,
+     *  and attach the configured fabric observers. */
+    void setupTelemetry();
+
     SwitchSpec topo;
     ClusterConfig cfg;
     TokenFabric fabric_;
@@ -183,6 +205,9 @@ class Cluster
     // indices reachable through each downlink port.
     std::vector<const SwitchSpec *> switchSpecs;
     std::vector<std::vector<std::vector<size_t>>> switchPortServers;
+    // Declared last: the registry's probes read the components above,
+    // so the telemetry bundle must be destroyed first.
+    std::unique_ptr<Telemetry> telemetry_;
 };
 
 } // namespace firesim

@@ -150,4 +150,37 @@ MemHierarchy::data(uint32_t core, uint64_t addr, uint32_t bytes,
     return l1ds.at(core)->access(addr, bytes, is_write, now);
 }
 
+void
+Cache::registerStats(StatRegistry &registry,
+                     const std::string &prefix) const
+{
+    registry.registerCounter(prefix + ".hits", stats_.hits);
+    registry.registerCounter(prefix + ".misses", stats_.misses);
+    registry.registerCounter(prefix + ".writebacks", stats_.writebacks);
+    const CacheStats *s = &stats_;
+    registry.registerProbe(prefix + ".missRate",
+                           [s] { return s->missRate(); });
+}
+
+void
+MemHierarchy::registerStats(StatRegistry &registry,
+                            const std::string &prefix) const
+{
+    for (size_t c = 0; c < l1is.size(); ++c) {
+        l1is[c]->registerStats(registry,
+                               csprintf("%s.l1i%zu", prefix.c_str(), c));
+        l1ds[c]->registerStats(registry,
+                               csprintf("%s.l1d%zu", prefix.c_str(), c));
+    }
+    l2_->registerStats(registry, prefix + ".l2");
+
+    const DramStats &d = dram_.stats();
+    registry.registerCounter(prefix + ".dram.reads", d.reads);
+    registry.registerCounter(prefix + ".dram.writes", d.writes);
+    registry.registerCounter(prefix + ".dram.rowHits", d.rowHits);
+    registry.registerCounter(prefix + ".dram.rowMisses", d.rowMisses);
+    registry.registerCounter(prefix + ".dram.rowConflicts",
+                             d.rowConflicts);
+}
+
 } // namespace firesim

@@ -22,6 +22,7 @@
 #include "base/stats.hh"
 #include "base/units.hh"
 #include "mem/dram.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -73,6 +74,10 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg; }
 
+    /** Register hits/misses/writebacks and missRate under @p prefix. */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     struct Line
     {
@@ -111,6 +116,14 @@ class MemHierarchy
     Cache &l1d(uint32_t core) { return *l1ds.at(core); }
     Cache &l2() { return *l2_; }
     DramModel &dram() { return dram_; }
+
+    /**
+     * Register the whole hierarchy under @p prefix: per-core
+     * <prefix>.l1i<core> / <prefix>.l1d<core>, the shared <prefix>.l2,
+     * and <prefix>.dram row-buffer counters.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     DramModel dram_;

@@ -347,7 +347,11 @@ TokenFabric::run(Cycles cycles)
                 for (FabricObserver *obs : observers)
                     obs->onEndpointSkipped(idx, curCycle);
             } else {
+                for (FabricObserver *obs : observers)
+                    obs->onAdvanceStart(idx, curCycle);
                 state.endpoint->advance(curCycle, quant, in, out);
+                for (FabricObserver *obs : observers)
+                    obs->onAdvanceEnd(idx, curCycle);
             }
 
             for (uint32_t p = 0; p < ports; ++p) {

@@ -202,6 +202,25 @@ class FabricObserver
     }
 
     /**
+     * Bracketing hooks around an endpoint's advance() call, fired only
+     * when the endpoint actually runs (not when skipped while down).
+     * Host-time profilers (src/telemetry) hang scoped timers here to
+     * attribute wall-clock to switch ticks vs blade ticks without
+     * touching the endpoints themselves.
+     */
+    virtual void onAdvanceStart(size_t endpoint_idx, Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)round_start;
+    }
+
+    virtual void onAdvanceEnd(size_t endpoint_idx, Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)round_start;
+    }
+
+    /**
      * Mutate an outbound batch before it enters its channel. Called for
      * every produced batch, including the empty ones emitted on behalf
      * of down endpoints (so e.g. delayed payload can still drain).

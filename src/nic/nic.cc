@@ -258,4 +258,19 @@ Nic::writerPump()
     });
 }
 
+void
+Nic::registerStats(StatRegistry &registry, const std::string &prefix) const
+{
+    registry.registerCounter(prefix + ".framesSent", stats_.framesSent);
+    registry.registerCounter(prefix + ".framesReceived",
+                             stats_.framesReceived);
+    registry.registerCounter(prefix + ".framesDroppedRx",
+                             stats_.framesDroppedRx);
+    registry.registerCounter(prefix + ".bytesSent", stats_.bytesSent);
+    registry.registerCounter(prefix + ".bytesReceived",
+                             stats_.bytesReceived);
+    registry.registerCounter(prefix + ".interruptsRaised",
+                             stats_.interruptsRaised);
+}
+
 } // namespace firesim

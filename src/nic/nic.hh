@@ -43,6 +43,7 @@
 #include "net/eth.hh"
 #include "net/token.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -107,6 +108,10 @@ class Nic
     MacAddr mac() const { return macAddr; }
     const NicConfig &config() const { return cfg; }
     const NicStats &stats() const { return stats_; }
+
+    /** Register every NicStats counter under @p prefix. */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
     // ---- Controller (CPU-facing) ------------------------------------
 

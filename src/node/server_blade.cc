@@ -46,4 +46,19 @@ ServerBlade::advance(Cycles window_start, Cycles window,
     nicDev->drainTx(window_start, out[0]);
 }
 
+void
+ServerBlade::registerStats(StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    nicDev->registerStats(registry, prefix + ".nic");
+
+    const BlockDevStats &b = blkDev->stats();
+    registry.registerCounter(prefix + ".blockdev.reads", b.reads);
+    registry.registerCounter(prefix + ".blockdev.writes", b.writes);
+    registry.registerCounter(prefix + ".blockdev.sectorsMoved",
+                             b.sectorsMoved);
+    registry.registerCounter(prefix + ".blockdev.interruptsRaised",
+                             b.interruptsRaised);
+}
+
 } // namespace firesim

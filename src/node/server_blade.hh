@@ -28,6 +28,7 @@
 #include "net/fabric.hh"
 #include "nic/nic.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -69,6 +70,14 @@ class ServerBlade : public TokenEndpoint
 
     const BladeConfig &config() const { return cfg; }
     EventQueue &eventQueue() { return eq; }
+
+    /**
+     * Register this blade's device counters under @p prefix:
+     * <prefix>.nic.* and <prefix>.blockdev.*.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
     FunctionalMemory &memory() { return mem; }
     Nic &nic() { return *nicDev; }
     BlockDevice &blockDevice() { return *blkDev; }

@@ -86,6 +86,34 @@ sext(uint64_t value, unsigned bits)
     unsigned shift = 64 - bits;
     return static_cast<int64_t>(value << shift) >> shift;
 }
+
+/** TracerV opcode-class bucketing keyed on the major opcode. */
+OpClass
+opClassOf(uint32_t opcode, uint32_t funct7)
+{
+    switch (opcode) {
+      case 0x03: // loads
+        return OpClass::Load;
+      case 0x23: // stores
+        return OpClass::Store;
+      case 0x63: // branches
+        return OpClass::Branch;
+      case 0x6f: // JAL
+      case 0x67: // JALR
+        return OpClass::Jump;
+      case 0x33: // OP
+      case 0x3b: // OP-32
+        return funct7 == 1 ? OpClass::MulDiv : OpClass::IntAlu;
+      case 0x73: // SYSTEM
+      case 0x0f: // FENCE
+        return OpClass::System;
+      case 0x0b: // custom-0 (RoCC)
+      case 0x2b: // custom-1 (RoCC)
+        return OpClass::Custom;
+      default:
+        return OpClass::IntAlu;
+    }
+}
 } // namespace
 
 uint64_t
@@ -434,8 +462,42 @@ RocketCore::step()
               (unsigned long long)pcReg, insn);
     }
 
+    // Commit: the instruction retired. The tracer (when attached)
+    // observes out-of-band — a null check is the entire disabled cost.
+    if (trace_)
+        trace_->record(pcReg, opClassOf(opcode, funct7), stats_.cycles);
+
     pcReg = next_pc;
     return !isHalted;
+}
+
+void
+RocketCore::registerStats(StatRegistry &registry,
+                          const std::string &prefix) const
+{
+    const CoreStats *s = &stats_;
+    registry.registerProbe(prefix + ".instret", [s] {
+        return static_cast<double>(s->instret);
+    });
+    registry.registerProbe(prefix + ".cycles", [s] {
+        return static_cast<double>(s->cycles);
+    });
+    registry.registerProbe(prefix + ".loads", [s] {
+        return static_cast<double>(s->loads);
+    });
+    registry.registerProbe(prefix + ".stores", [s] {
+        return static_cast<double>(s->stores);
+    });
+    registry.registerProbe(prefix + ".branches", [s] {
+        return static_cast<double>(s->branches);
+    });
+    registry.registerProbe(prefix + ".takenBranches", [s] {
+        return static_cast<double>(s->takenBranches);
+    });
+    registry.registerProbe(prefix + ".mmioAccesses", [s] {
+        return static_cast<double>(s->mmioAccesses);
+    });
+    registry.registerProbe(prefix + ".ipc", [s] { return s->ipc(); });
 }
 
 RocketCore::RunResult

@@ -34,6 +34,8 @@
 #include "mem/functional_memory.hh"
 #include "riscv/riscv.hh"
 #include "riscv/rocc.hh"
+#include "telemetry/instr_trace.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -195,6 +197,24 @@ class RocketCore
      */
     void attachAccelerator(uint32_t slot, RoccAccelerator *accel);
 
+    /**
+     * Attach a TracerV-style committed-instruction trace (or nullptr
+     * to detach). Out-of-band: the trace observes (pc, opcode class,
+     * cycle) at every commit without touching architectural or timing
+     * state, so enabling it changes no target-visible cycle count.
+     * With no tracer attached the commit path costs one predicted-
+     * not-taken null check.
+     */
+    void setTracer(InstructionTrace *trace) { trace_ = trace; }
+    InstructionTrace *tracer() const { return trace_; }
+
+    /**
+     * Register this core's counters (instret, cycles, loads, stores,
+     * branches, mmio) under @p prefix, plus derived ipc.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     uint64_t loadData(uint64_t addr, uint32_t size, bool sign_extend);
     void storeData(uint64_t addr, uint64_t value, uint32_t size);
@@ -206,6 +226,7 @@ class RocketCore
     CoreStats stats_;
 
     uint64_t x[32] = {};
+    InstructionTrace *trace_ = nullptr;
     RoccAccelerator *rocc[2] = {nullptr, nullptr};
     uint32_t issueAccum = 0; //!< instructions since the last base cycle
     uint64_t pcReg = 0;

@@ -242,4 +242,23 @@ Switch::takeBytesOutDelta()
     return delta;
 }
 
+void
+Switch::registerStats(StatRegistry &registry,
+                      const std::string &prefix) const
+{
+    registry.registerCounter(prefix + ".packetsIn", stats_.packetsIn);
+    registry.registerCounter(prefix + ".packetsOut", stats_.packetsOut);
+    registry.registerCounter(prefix + ".packetsDropped",
+                             stats_.packetsDropped);
+    registry.registerCounter(prefix + ".bytesIn", stats_.bytesIn);
+    registry.registerCounter(prefix + ".bytesOut", stats_.bytesOut);
+    registry.registerCounter(prefix + ".broadcasts", stats_.broadcasts);
+    registry.registerCounter(prefix + ".faultFlitsDroppedIn",
+                             stats_.faultFlitsDroppedIn);
+    registry.registerCounter(prefix + ".faultPacketsDroppedOut",
+                             stats_.faultPacketsDroppedOut);
+    registry.registerCounter(prefix + ".portTransitions",
+                             stats_.portTransitions);
+}
+
 } // namespace firesim

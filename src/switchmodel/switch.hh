@@ -37,6 +37,7 @@
 #include "base/units.hh"
 #include "net/eth.hh"
 #include "net/fabric.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -119,6 +120,10 @@ class Switch : public TokenEndpoint
 
     const SwitchStats &stats() const { return stats_; }
     const SwitchConfig &config() const { return cfg; }
+
+    /** Register every SwitchStats counter under @p prefix. */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
     /**
      * Bytes forwarded out of all ports since the last call; used by the

@@ -73,6 +73,98 @@ TEST(HistogramDeath, PercentileRangeChecked)
     Histogram h;
     h.sample(1.0);
     EXPECT_DEATH(h.percentile(101.0), "out of range");
+    EXPECT_DEATH(h.percentileNearestRank(-1.0), "out of range");
+}
+
+TEST(Histogram, NearestRankReturnsObservedValues)
+{
+    // Regression for the doc/behaviour mismatch: percentile() openly
+    // interpolates; percentileNearestRank() must return a sample that
+    // actually occurred.
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(100), 100.0);
+    // And the interpolating variant still blends (p50 never occurred).
+    EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Histogram, NearestRankOnTinySets)
+{
+    Histogram h;
+    h.sample(10.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(99), 10.0);
+    h.sample(20.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(50), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentileNearestRank(51), 20.0);
+}
+
+TEST(HistogramReservoir, AggregatesStayExact)
+{
+    Histogram h;
+    h.setReservoir(16, 7);
+    double sum = 0.0;
+    for (int i = 1; i <= 1000; ++i) {
+        h.sample(static_cast<double>(i));
+        sum += i;
+    }
+    // Memory is bounded...
+    EXPECT_EQ(h.retained(), 16u);
+    EXPECT_EQ(h.reservoirCap(), 16u);
+    // ...but count/mean/min/max never degrade.
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    // Percentiles are approximate but must come from real samples.
+    double p50 = h.percentileNearestRank(50);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_DOUBLE_EQ(p50, std::floor(p50));
+}
+
+TEST(HistogramReservoir, DeterministicAcrossRuns)
+{
+    Histogram a, b;
+    a.setReservoir(8, 99);
+    b.setReservoir(8, 99);
+    for (int i = 0; i < 500; ++i) {
+        a.sample(static_cast<double>(i * 3 % 101));
+        b.sample(static_cast<double>(i * 3 % 101));
+    }
+    // Same seed, same stream: identical retained sets.
+    EXPECT_EQ(a.samples(), b.samples());
+    for (double p : {10.0, 50.0, 90.0})
+        EXPECT_DOUBLE_EQ(a.percentileNearestRank(p),
+                         b.percentileNearestRank(p));
+}
+
+TEST(HistogramReservoir, ResetRestoresExactMode)
+{
+    Histogram h;
+    h.setReservoir(4, 1);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    // After reset the reservoir can be re-armed (no samples yet).
+    h.setReservoir(4, 1);
+    h.sample(5.0);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramReservoirDeath, MisuseIsFatal)
+{
+    Histogram h;
+    EXPECT_DEATH(h.setReservoir(0, 1), "nonzero");
+    Histogram h2;
+    h2.sample(1.0);
+    EXPECT_DEATH(h2.setReservoir(8, 1), "after");
 }
 
 TEST(RunningStat, TracksWithoutRetainingSamples)

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * A deliberately tiny recursive-descent JSON parser, just enough to
+ * *validate* the telemetry dumps (stats.json, autocounter json, Chrome
+ * trace documents) by parsing them back instead of grepping substrings.
+ * Test-only: no error recovery, throws std::runtime_error on malformed
+ * input, which a test turns into a failure.
+ */
+
+#ifndef FIRESIM_TESTS_TELEMETRY_MINI_JSON_HH
+#define FIRESIM_TESTS_TELEMETRY_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace firesim
+{
+namespace minijson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    bool has(const std::string &key) const
+    {
+        return isObject() && object.count(key) > 0;
+    }
+
+    const Value &
+    at(const std::string &key) const
+    {
+        if (!has(key))
+            throw std::runtime_error("missing key: " + key);
+        return *object.at(key);
+    }
+
+    const Value &
+    at(size_t i) const
+    {
+        if (!isArray() || i >= array.size())
+            throw std::runtime_error("bad array index");
+        return *array.at(i);
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            throw std::runtime_error("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            throw std::runtime_error("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos));
+        ++pos;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            return parseNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            ValuePtr key = parseString();
+            expect(':');
+            v->object[key->str] = parseValue();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v->array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::String;
+        expect('"');
+        while (true) {
+            if (pos >= s.size())
+                throw std::runtime_error("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    throw std::runtime_error("dangling escape");
+                char e = s[pos++];
+                switch (e) {
+                  case '"': v->str.push_back('"'); break;
+                  case '\\': v->str.push_back('\\'); break;
+                  case '/': v->str.push_back('/'); break;
+                  case 'n': v->str.push_back('\n'); break;
+                  case 't': v->str.push_back('\t'); break;
+                  case 'r': v->str.push_back('\r'); break;
+                  case 'b': v->str.push_back('\b'); break;
+                  case 'f': v->str.push_back('\f'); break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        throw std::runtime_error("short \\u escape");
+                    // Validation only: keep the raw escape text.
+                    v->str += "\\u" + s.substr(pos, 4);
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    throw std::runtime_error("bad escape");
+                }
+            } else {
+                v->str.push_back(c);
+            }
+        }
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Bool;
+        if (s.compare(pos, 4, "true") == 0) {
+            v->boolean = true;
+            pos += 4;
+        } else if (s.compare(pos, 5, "false") == 0) {
+            v->boolean = false;
+            pos += 5;
+        } else {
+            throw std::runtime_error("bad literal");
+        }
+        return v;
+    }
+
+    ValuePtr
+    parseNull()
+    {
+        if (s.compare(pos, 4, "null") != 0)
+            throw std::runtime_error("bad literal");
+        pos += 4;
+        return std::make_shared<Value>();
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Number;
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            throw std::runtime_error("expected a number at offset " +
+                                     std::to_string(pos));
+        char *end = nullptr;
+        std::string tok = s.substr(start, pos - start);
+        v->number = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            throw std::runtime_error("malformed number: " + tok);
+        return v;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+inline ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace minijson
+} // namespace firesim
+
+#endif // FIRESIM_TESTS_TELEMETRY_MINI_JSON_HH
