@@ -18,8 +18,9 @@
 using namespace firesim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 5", "Ping RTT vs configured link latency");
     TargetClock clk;
     Table t({"Link latency (us)", "Ideal RTT (us)", "Measured RTT (us)",
@@ -32,6 +33,7 @@ main()
         Cycles lat = clk.cyclesFromUs(lat_us);
         ClusterConfig cc;
         cc.linkLatency = lat;
+        cc.parallelHosts = bench::parallelHosts();
         Cluster cluster(topologies::singleTor(8), cc);
 
         PingConfig pc;

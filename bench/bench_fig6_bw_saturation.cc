@@ -96,6 +96,7 @@ runConfig(double rate_gbps, Cycles stagger, Cycles bucket, int buckets)
         root.addMacEntry(mac, i < kPerTor ? 0 : 1);
     }
     fabric.finalize();
+    fabric.setParallelHosts(bench::parallelHosts());
 
     // Rate limit: k/p of the 204.8 Gbit/s line rate.
     uint64_t p = std::max<uint64_t>(
@@ -146,8 +147,9 @@ runConfig(double rate_gbps, Cycles stagger, Cycles bucket, int buckets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 6",
                   "Aggregate bandwidth over time at the root switch");
     TargetClock clk;

@@ -40,6 +40,7 @@ runPoint(uint32_t threads, bool pinned, double target_qps,
     TargetClock clk;
     ClusterConfig cc;
     cc.net.rxQueues = 4; // multi-queue NIC: RSS across two softirqs
+    cc.parallelHosts = bench::parallelHosts();
     Cluster cluster(topologies::singleTor(8), cc);
 
     MemcachedConfig mc;
@@ -84,8 +85,9 @@ runPoint(uint32_t threads, bool pinned, double target_qps,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 7",
                   "memcached tail latency: thread imbalance on a 4-core "
                   "server");

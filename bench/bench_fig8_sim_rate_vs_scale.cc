@@ -15,7 +15,18 @@
  *
  * Both must fall as the cluster grows; the paper's headline 1024-node
  * supernode point lands at ~3.4 MHz.
+ *
+ * A second table sweeps the token fabric's worker-thread count
+ * (TokenFabric::setParallelHosts) across cluster scales and reports
+ * target cycles/second plus parallel efficiency against the
+ * single-threaded run. The same data is written machine-readably to
+ * BENCH_fig8.json. Results are bit-identical for every thread count —
+ * only wall-clock time changes — so the sweep measures pure host-side
+ * scaling, the software analogue of the paper adding F1 FPGAs.
  */
+
+#include <cstdio>
+#include <vector>
 
 #include "apps/boot.hh"
 #include "bench/common.hh"
@@ -41,11 +52,12 @@ topoFor(uint32_t nodes)
 
 /** Measured software-simulation rate: every node boots and powers
  *  down (the paper's Section V-A workload), then target time over
- *  wall-clock time. */
+ *  wall-clock time. `hosts` is the fabric worker-thread count. */
 double
-measuredMhz(uint32_t nodes, double target_us)
+measuredMhz(uint32_t nodes, double target_us, unsigned hosts)
 {
     ClusterConfig cc;
+    cc.parallelHosts = hosts;
     Cluster cluster(topoFor(nodes), cc);
     std::vector<BootResult> boots(nodes);
     BootConfig bc;
@@ -63,11 +75,74 @@ measuredMhz(uint32_t nodes, double target_us)
     return target_cycles / wall_s / 1e6;
 }
 
+/** One cell of the thread sweep: target cycles/second. */
+struct SweepCell
+{
+    uint32_t nodes = 0;
+    unsigned threads = 0;
+    double cyclesPerSec = 0.0;
+};
+
+void
+writeSweepJson(const char *path, const std::vector<uint32_t> &scales,
+               const std::vector<unsigned> &threads,
+               const std::vector<SweepCell> &cells)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        warn("could not open %s for writing", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"fig8\",\n");
+    std::fprintf(f, "  \"workload\": \"boot-and-power-down\",\n");
+    std::fprintf(f, "  \"metric\": \"target_cycles_per_second\",\n");
+    std::fprintf(f, "  \"thread_counts\": [");
+    for (size_t i = 0; i < threads.size(); ++i)
+        std::fprintf(f, "%s%u", i ? ", " : "", threads[i]);
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"scales\": [\n");
+    for (size_t si = 0; si < scales.size(); ++si) {
+        uint32_t nodes = scales[si];
+        std::fprintf(f, "    {\"nodes\": %u, \"rates\": {", nodes);
+        double base = 0.0;
+        bool first = true;
+        for (const SweepCell &c : cells) {
+            if (c.nodes != nodes)
+                continue;
+            if (c.threads == 1)
+                base = c.cyclesPerSec;
+            std::fprintf(f, "%s\"%u\": %.6g", first ? "" : ", ",
+                         c.threads, c.cyclesPerSec);
+            first = false;
+        }
+        std::fprintf(f, "}, \"efficiency\": {");
+        first = true;
+        for (const SweepCell &c : cells) {
+            if (c.nodes != nodes)
+                continue;
+            double eff = (base > 0.0 && c.threads > 0)
+                             ? c.cyclesPerSec / base /
+                                   static_cast<double>(c.threads)
+                             : 0.0;
+            std::fprintf(f, "%s\"%u\": %.4f", first ? "" : ", ",
+                         c.threads, eff);
+            first = false;
+        }
+        std::fprintf(f, "}}%s\n", si + 1 < scales.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("Wrote %s\n", path);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 8", "Simulation rate vs simulated cluster size");
     const Cycles link = 6400; // 2 us batches
 
@@ -88,7 +163,8 @@ main()
 
         std::string meas = "-";
         if (nodes <= measure_limit)
-            meas = Table::fmt(measuredMhz(nodes, 2000.0), 2);
+            meas = Table::fmt(
+                measuredMhz(nodes, 2000.0, bench::parallelHosts()), 2);
         t.addRow({Table::fmt(nodes, 0), Table::fmt(std_est.targetMhz, 2),
                   Table::fmt(sup_est.targetMhz, 2), meas});
     }
@@ -99,10 +175,52 @@ main()
                 "rates exceed F1 at small scales and are not comparable —\n"
                 "only the downward trend with scale is.\n\n");
 
+    // Worker-thread sweep: target cycles/sec per scale x thread count,
+    // plus parallel efficiency (speedup over 1 thread / thread count).
+    const std::vector<unsigned> threads = {1, 2, 4, 8};
+    std::vector<uint32_t> sweep_scales;
+    for (uint32_t nodes : scales)
+        if (nodes >= 8 && nodes <= measure_limit)
+            sweep_scales.push_back(nodes);
+    const double sweep_us = bench::fullScale() ? 2000.0 : 1000.0;
+
+    std::vector<SweepCell> cells;
+    Table sweep({"Nodes", "Threads", "Target cycles/s", "Speedup",
+                 "Efficiency"});
+    for (uint32_t nodes : sweep_scales) {
+        double base = 0.0;
+        for (unsigned th : threads) {
+            SweepCell cell;
+            cell.nodes = nodes;
+            cell.threads = th;
+            cell.cyclesPerSec = measuredMhz(nodes, sweep_us, th) * 1e6;
+            cells.push_back(cell);
+            if (th == 1)
+                base = cell.cyclesPerSec;
+            double speedup = base > 0.0 ? cell.cyclesPerSec / base : 0.0;
+            sweep.addRow({Table::fmt(nodes, 0), Table::fmt(th, 0),
+                          Table::fmt(cell.cyclesPerSec / 1e6, 2) + " M",
+                          Table::fmt(speedup, 2) + "x",
+                          Table::fmt(speedup * 100.0 /
+                                         static_cast<double>(th), 0) +
+                              "%"});
+        }
+    }
+    std::printf("Worker-thread sweep (token fabric parallel rounds; "
+                "results are bit-identical across thread counts):\n");
+    std::printf("%s\n", sweep.render().c_str());
+    std::printf("Efficiency is speedup over the 1-thread run divided by\n"
+                "the thread count; on a host with fewer cores than\n"
+                "threads the extra workers cannot help and efficiency\n"
+                "drops accordingly — read the sweep on a multi-core\n"
+                "host to see the scaling the design is built for.\n\n");
+
+    writeSweepJson("BENCH_fig8.json", sweep_scales, threads, cells);
+
     SwitchSpec dc = topologies::threeLevel(4, 8, 32);
     DeploymentPlan plan = planDeployment(dc, true);
     SimRateEstimate est = estimateSimRate(dc, plan, link, 3.2);
-    std::printf("1024-node supernode: predicted %.2f MHz, slowdown %.0fx "
+    std::printf("\n1024-node supernode: predicted %.2f MHz, slowdown %.0fx "
                 "(%s).\n",
                 est.targetMhz, est.slowdown(3.2),
                 bench::paperRef("3.42 MHz, <1000x slowdown").c_str());

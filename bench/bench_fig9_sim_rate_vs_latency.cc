@@ -31,6 +31,7 @@ measuredMhz(Cycles link_latency, double target_us)
 {
     ClusterConfig cc;
     cc.linkLatency = link_latency;
+    cc.parallelHosts = bench::parallelHosts();
     Cluster cluster(topologies::twoLevel(2, 8), cc);
     bench::Stopwatch clock;
     cluster.runUs(target_us);
@@ -44,6 +45,7 @@ batchesPerKCycle(Cycles link_latency, Cycles quantum)
 {
     ClusterConfig cc;
     cc.linkLatency = link_latency;
+    cc.parallelHosts = bench::parallelHosts();
     Cluster cluster(topologies::twoLevel(2, 8), cc);
     (void)quantum; // the fabric always batches by min link latency
     Cycles target = 64000;
@@ -55,8 +57,9 @@ batchesPerKCycle(Cycles link_latency, Cycles quantum)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 9", "Simulation rate vs target link latency");
     SwitchSpec topo = topologies::twoLevel(8, 8);
     DeploymentPlan plan = planDeployment(topo, false);

@@ -109,6 +109,7 @@ runPairing(const DcShape &shape, Pairing pairing, double per_server_qps,
 {
     TargetClock clk;
     ClusterConfig cc;
+    cc.parallelHosts = bench::parallelHosts();
     Cluster cluster(topologies::threeLevel(shape.aggs, shape.torsPerAgg,
                                            shape.serversPerTor),
                     cc);
@@ -157,8 +158,9 @@ runPairing(const DcShape &shape, Pairing pairing, double per_server_qps,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     DcShape shape = bench::fullScale() ? DcShape{4, 8, 32}
                                        : DcShape{4, 2, 8};
     double measure_ms = bench::fullScale() ? 20.0 : 10.0;

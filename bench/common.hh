@@ -44,6 +44,51 @@ fullScale()
     return env && env[0] == '1';
 }
 
+/**
+ * Worker threads for the token fabric (ClusterConfig::parallelHosts /
+ * TokenFabric::setParallelHosts), shared by every bench binary. Set by
+ * parseCommonFlags(); defaults to 1 (single-threaded).
+ */
+inline unsigned &
+parallelHostsRef()
+{
+    static unsigned hosts = 1;
+    return hosts;
+}
+
+inline unsigned
+parallelHosts()
+{
+    return parallelHostsRef();
+}
+
+/**
+ * Parse the flags every experiment binary understands:
+ *   --parallel-hosts=N   fabric worker threads (also the
+ *                        FIRESIM_PARALLEL_HOSTS environment variable;
+ *                        the flag wins)
+ * Unknown arguments are ignored so binaries stay permissive. Results
+ * are bit-identical for every N — only wall-clock changes.
+ */
+inline void
+parseCommonFlags(int argc, char **argv)
+{
+    if (const char *env = std::getenv("FIRESIM_PARALLEL_HOSTS"))
+        parallelHostsRef() = static_cast<unsigned>(std::atoi(env));
+    const std::string flag = "--parallel-hosts=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(flag, 0) == 0)
+            parallelHostsRef() =
+                static_cast<unsigned>(std::atoi(arg.c_str() + flag.size()));
+    }
+    if (parallelHostsRef() == 0)
+        parallelHostsRef() = 1;
+    if (parallelHostsRef() > 1)
+        std::printf("[bench] parallel hosts: %u fabric worker threads\n",
+                    parallelHostsRef());
+}
+
 /** Wall-clock stopwatch for simulation-rate measurements. */
 class Stopwatch
 {

@@ -1,0 +1,95 @@
+#include "base/thread_pool.hh"
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+unsigned
+ThreadPool::hardwareWidth()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned width) : width_(width)
+{
+    if (width == 0)
+        fatal("thread pool width must be at least 1");
+    workers.reserve(width - 1);
+    for (unsigned i = 0; i + 1 < width; ++i)
+        workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::drainItems()
+{
+    size_t i;
+    while ((i = nextIndex.fetch_add(1, std::memory_order_relaxed)) < jobN)
+        jobFn(jobCtx, i);
+}
+
+void
+ThreadPool::workerMain()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        wake.wait(lock,
+                  [&] { return shutdown || generation != seen; });
+        if (shutdown)
+            return;
+        seen = generation;
+        lock.unlock();
+        drainItems();
+        lock.lock();
+        if (--pending == 0)
+            finished.notify_one();
+    }
+}
+
+void
+ThreadPool::runBatch(size_t n, BatchFn fn, void *ctx)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        // Inline fast path: a width-1 pool (or a single item) needs no
+        // synchronization at all.
+        for (size_t i = 0; i < n; ++i)
+            fn(ctx, i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        FS_ASSERT(pending == 0, "ThreadPool::parallelFor is not "
+                                "reentrant");
+        jobFn = fn;
+        jobCtx = ctx;
+        jobN = n;
+        nextIndex.store(0, std::memory_order_relaxed);
+        pending = static_cast<unsigned>(workers.size());
+        ++generation;
+    }
+    wake.notify_all();
+
+    // The caller is a worker too.
+    drainItems();
+
+    std::unique_lock<std::mutex> lock(mtx);
+    finished.wait(lock, [&] { return pending == 0; });
+}
+
+} // namespace firesim

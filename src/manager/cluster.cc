@@ -70,6 +70,7 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
                 nodes[i]->net().addArp(ipFor(j), macFor(j));
 
     fabric_.finalize();
+    fabric_.setParallelHosts(cfg.parallelHosts);
 
     if (cfg.telemetry.enabled)
         setupTelemetry();

@@ -98,6 +98,13 @@ struct ClusterConfig
      * Cluster allocates nothing and attaches no observers.
      */
     TelemetryConfig telemetry;
+    /**
+     * Host threads advancing endpoints inside each fabric round — the
+     * in-process analogue of the paper's one-blade-per-FPGA scale-out.
+     * 1 (default) is single-threaded; any value yields bit-identical
+     * simulation results and telemetry (TokenFabric round phases).
+     */
+    unsigned parallelHosts = 1;
 };
 
 class Cluster

@@ -13,14 +13,43 @@ TokenChannel::TokenChannel(Cycles latency, Cycles quantum)
     FS_ASSERT(quantum > 0 && latency % quantum == 0,
               "quantum %llu must divide latency %llu",
               (unsigned long long)quantum, (unsigned long long)latency);
+    // Ring sized for the invariant occupancy plus slack for the one
+    // transient extra batch a push-before-pop round shape can create.
+    slots.resize(static_cast<size_t>(latency / quantum) + 2);
     // Seed the link with latency/quantum batches of empty tokens: the
     // first `latency` arrival cycles carry nothing because nothing was
     // transmitted before target cycle 0.
     for (Cycles at = 0; at < latency; at += quantum) {
-        queue.emplace_back(at, static_cast<uint32_t>(quantum));
+        enqueue(TokenBatch(at, static_cast<uint32_t>(quantum)));
         nextPushStart = at + quantum;
     }
     nextPopStart = 0;
+}
+
+void
+TokenChannel::enqueue(TokenBatch &&batch)
+{
+    if (used == slots.size()) {
+        // Only reachable through pushRaw() abuse (fault tests stuffing
+        // rogue batches); the normal protocol never exceeds the seeded
+        // occupancy.
+        std::vector<TokenBatch> bigger(slots.size() * 2);
+        for (size_t i = 0; i < used; ++i)
+            bigger[i] = std::move(slots[(head + i) % slots.size()]);
+        slots = std::move(bigger);
+        head = 0;
+    }
+    slots[(head + used) % slots.size()] = std::move(batch);
+    ++used;
+}
+
+TokenBatch
+TokenChannel::dequeue()
+{
+    TokenBatch batch = std::move(slots[head]);
+    head = (head + 1) % slots.size();
+    --used;
+    return batch;
 }
 
 TokenChannel::PushError
@@ -47,23 +76,21 @@ TokenChannel::push(TokenBatch batch)
               lbl.c_str(), (unsigned long long)batch.start,
               (unsigned long long)nextPushStart);
     nextPushStart += quant;
-    queue.push_back(std::move(batch));
+    enqueue(std::move(batch));
 }
 
 void
 TokenChannel::pushRaw(TokenBatch batch)
 {
     batch.start += lat;
-    queue.push_back(std::move(batch));
+    enqueue(std::move(batch));
 }
 
 TokenBatch
 TokenChannel::pop()
 {
-    FS_ASSERT(!queue.empty(), "pop from empty token channel %s",
-              lbl.c_str());
-    TokenBatch batch = std::move(queue.front());
-    queue.pop_front();
+    FS_ASSERT(used > 0, "pop from empty token channel %s", lbl.c_str());
+    TokenBatch batch = dequeue();
     FS_ASSERT(batch.start == nextPopStart,
               "non-contiguous batch pop on %s: got %llu expected %llu",
               lbl.c_str(), (unsigned long long)batch.start,
@@ -75,10 +102,8 @@ TokenChannel::pop()
 TokenBatch
 TokenChannel::popUnchecked()
 {
-    FS_ASSERT(!queue.empty(), "pop from empty token channel %s",
-              lbl.c_str());
-    TokenBatch batch = std::move(queue.front());
-    queue.pop_front();
+    FS_ASSERT(used > 0, "pop from empty token channel %s", lbl.c_str());
+    TokenBatch batch = dequeue();
     nextPopStart = batch.start + quant;
     return batch;
 }
@@ -144,6 +169,19 @@ TokenFabric::setFunctionalMode(Cycles window)
 }
 
 void
+TokenFabric::setParallelHosts(unsigned hosts)
+{
+    FS_ASSERT(!running, "setParallelHosts() mid-run");
+    parHosts = hosts == 0 ? 1 : hosts;
+    if (parHosts >= 2) {
+        if (!workers || workers->width() != parHosts)
+            workers = std::make_unique<ThreadPool>(parHosts);
+    } else {
+        workers.reset();
+    }
+}
+
+void
 TokenFabric::finalize()
 {
     FS_ASSERT(!finalized, "finalize() called twice");
@@ -191,12 +229,18 @@ TokenFabric::finalize()
         channels.push_back(std::move(ba));
     }
 
-    for (const auto &state : endpoints) {
+    for (auto &state : endpoints) {
         for (uint32_t p = 0; p < state.in.size(); ++p) {
             if (!state.in[p] || !state.out[p])
                 fatal("port %u of endpoint %s left unconnected", p,
                       state.endpoint->name().c_str());
         }
+        // Round buffers are sized once here so the round loop never
+        // grows them.
+        size_t ports = state.in.size();
+        state.popped.reserve(ports);
+        state.inPtrs.reserve(ports);
+        state.outs.reserve(ports);
     }
 
     if (stepOrder.empty()) {
@@ -220,6 +264,7 @@ TokenFabric::addObserver(FabricObserver *observer)
     FS_ASSERT(observer != nullptr, "null fabric observer");
     FS_ASSERT(!running, "cannot attach observers mid-run");
     observers.push_back(observer);
+    observer->onAttach(*this);
 }
 
 int
@@ -266,120 +311,163 @@ TokenFabric::reportAnomaly(FabricObserver::Anomaly kind,
 }
 
 void
+TokenFabric::prepareEndpoint(size_t idx)
+{
+    EndpointState &state = endpoints[idx];
+    uint32_t ports = state.endpoint->numPorts();
+
+    state.down = false;
+    for (FabricObserver *obs : observers)
+        state.down |= obs->endpointDown(idx, curCycle);
+
+    // Recycle the previous round's input storage: these flit vectors
+    // arrived through the channels from whoever produced them, and feed
+    // the pool that the output batches below draw from.
+    for (TokenBatch &spent : state.popped)
+        pool.recycle(std::move(spent.flits));
+    state.popped.clear();
+
+    for (uint32_t p = 0; p < ports; ++p) {
+        TokenChannel *chan = state.in[p];
+        if (observers.empty()) {
+            FS_ASSERT(chan->ready(), "channel underflow into %s:%u",
+                      state.endpoint->name().c_str(), p);
+            state.popped.push_back(chan->pop());
+            continue;
+        }
+        // Monitored path: report-and-repair instead of abort.
+        if (!chan->ready()) {
+            TokenBatch missing(chan->nextPopCycle(),
+                               static_cast<uint32_t>(quant));
+            if (!reportAnomaly(FabricObserver::Anomaly::ChannelUnderflow,
+                               idx, p, chan, missing)) {
+                panic("channel underflow into %s:%u (%s)",
+                      state.endpoint->name().c_str(), p,
+                      chan->label().c_str());
+            }
+            state.popped.emplace_back(curCycle,
+                                      static_cast<uint32_t>(quant));
+            continue;
+        }
+        TokenBatch batch = chan->popUnchecked();
+        if (batch.start != curCycle) {
+            if (!reportAnomaly(FabricObserver::Anomaly::StaleBatch, idx, p,
+                               chan, batch)) {
+                panic("non-contiguous batch pop on %s: got %llu "
+                      "expected %llu",
+                      chan->label().c_str(),
+                      (unsigned long long)batch.start,
+                      (unsigned long long)curCycle);
+            }
+            // Recover by restamping the payload into the current window
+            // (a real lossy transport delivers late tokens late).
+            batch.start = curCycle;
+            batch.len = static_cast<uint32_t>(quant);
+        }
+        state.popped.push_back(std::move(batch));
+    }
+
+    state.inPtrs.clear();
+    for (uint32_t p = 0; p < ports; ++p)
+        state.inPtrs.push_back(&state.popped[p]);
+
+    state.outs.clear();
+    for (uint32_t p = 0; p < ports; ++p) {
+        TokenBatch out(curCycle, static_cast<uint32_t>(quant));
+        out.flits = pool.take();
+        state.outs.push_back(std::move(out));
+    }
+
+    if (state.down) {
+        // Graceful degradation: a crashed / stalled endpoint keeps the
+        // token protocol alive with empty batches so every other
+        // endpoint stays cycle-exact. Notified here, on the driving
+        // thread, so only the advance brackets ever run on workers.
+        for (FabricObserver *obs : observers)
+            obs->onEndpointSkipped(idx, curCycle);
+    }
+}
+
+void
+TokenFabric::advanceEndpoint(size_t idx)
+{
+    EndpointState &state = endpoints[idx];
+    if (state.down)
+        return;
+    for (FabricObserver *obs : observers)
+        obs->onAdvanceStart(idx, curCycle);
+    state.endpoint->advance(curCycle, quant, state.inPtrs, state.outs);
+    for (FabricObserver *obs : observers)
+        obs->onAdvanceEnd(idx, curCycle);
+}
+
+void
+TokenFabric::commitEndpoint(size_t idx)
+{
+    EndpointState &state = endpoints[idx];
+    uint32_t ports = state.endpoint->numPorts();
+    for (uint32_t p = 0; p < ports; ++p) {
+        TokenChannel *chan = state.out[p];
+        if (!observers.empty()) {
+            size_t chan_idx = channelIndexOf(chan);
+            for (FabricObserver *obs : observers)
+                obs->onTransmit(chan_idx, state.outs[p]);
+            TokenChannel::PushError err = chan->accepts(state.outs[p]);
+            if (err != TokenChannel::PushError::Ok) {
+                auto kind = err == TokenChannel::PushError::BadLength
+                                ? FabricObserver::Anomaly::BadLength
+                                : FabricObserver::Anomaly::NonContiguous;
+                if (reportAnomaly(kind, idx, p, chan, state.outs[p])) {
+                    // Substitute a well-formed empty batch to keep the
+                    // channel's token stream intact.
+                    pool.recycle(std::move(state.outs[p].flits));
+                    state.outs[p] =
+                        TokenBatch(curCycle, static_cast<uint32_t>(quant));
+                }
+                // else: fall through to push(), which aborts with the
+                // channel label.
+            }
+        }
+        chan->push(std::move(state.outs[p]));
+        ++batchCount;
+    }
+}
+
+void
 TokenFabric::run(Cycles cycles)
 {
     FS_ASSERT(finalized, "run() before finalize()");
     running = true;
     Cycles target = curCycle + cycles;
-    std::vector<const TokenBatch *> in;
-    std::vector<TokenBatch> popped;
-    std::vector<TokenBatch> out;
 
     while (curCycle < target) {
         for (FabricObserver *obs : observers)
             obs->onRoundStart(curCycle, roundCount);
 
-        for (size_t idx : stepOrder) {
-            EndpointState &state = endpoints[idx];
-            uint32_t ports = state.endpoint->numPorts();
+        // Phase 1 (driving thread, step order): down-verdicts, input
+        // pops, output-batch prep. Latency seeding guarantees every
+        // channel already holds this round's input batch, so all pops
+        // complete before any push and channels need no locks.
+        for (size_t idx : stepOrder)
+            prepareEndpoint(idx);
 
-            bool down = false;
-            for (FabricObserver *obs : observers)
-                down |= obs->endpointDown(idx, curCycle);
-
-            popped.clear();
-            popped.reserve(ports);
-            in.clear();
-            for (uint32_t p = 0; p < ports; ++p) {
-                TokenChannel *chan = state.in[p];
-                if (observers.empty()) {
-                    FS_ASSERT(chan->ready(),
-                              "channel underflow into %s:%u",
-                              state.endpoint->name().c_str(), p);
-                    popped.push_back(chan->pop());
-                    continue;
-                }
-                // Monitored path: report-and-repair instead of abort.
-                if (!chan->ready()) {
-                    TokenBatch missing(chan->nextPopCycle(),
-                                       static_cast<uint32_t>(quant));
-                    if (!reportAnomaly(
-                            FabricObserver::Anomaly::ChannelUnderflow,
-                            idx, p, chan, missing)) {
-                        panic("channel underflow into %s:%u (%s)",
-                              state.endpoint->name().c_str(), p,
-                              chan->label().c_str());
-                    }
-                    popped.emplace_back(curCycle,
-                                        static_cast<uint32_t>(quant));
-                    continue;
-                }
-                TokenBatch batch = chan->popUnchecked();
-                if (batch.start != curCycle) {
-                    if (!reportAnomaly(
-                            FabricObserver::Anomaly::StaleBatch, idx,
-                            p, chan, batch)) {
-                        panic("non-contiguous batch pop on %s: got %llu "
-                              "expected %llu",
-                              chan->label().c_str(),
-                              (unsigned long long)batch.start,
-                              (unsigned long long)curCycle);
-                    }
-                    // Recover by restamping the payload into the
-                    // current window (a real lossy transport delivers
-                    // late tokens late).
-                    batch.start = curCycle;
-                    batch.len = static_cast<uint32_t>(quant);
-                }
-                popped.push_back(std::move(batch));
-            }
-            for (uint32_t p = 0; p < ports; ++p)
-                in.push_back(&popped[p]);
-
-            out.clear();
-            for (uint32_t p = 0; p < ports; ++p)
-                out.emplace_back(curCycle, static_cast<uint32_t>(quant));
-
-            if (down) {
-                // Graceful degradation: a crashed / stalled endpoint
-                // keeps the token protocol alive with empty batches so
-                // every other endpoint stays cycle-exact.
-                for (FabricObserver *obs : observers)
-                    obs->onEndpointSkipped(idx, curCycle);
-            } else {
-                for (FabricObserver *obs : observers)
-                    obs->onAdvanceStart(idx, curCycle);
-                state.endpoint->advance(curCycle, quant, in, out);
-                for (FabricObserver *obs : observers)
-                    obs->onAdvanceEnd(idx, curCycle);
-            }
-
-            for (uint32_t p = 0; p < ports; ++p) {
-                TokenChannel *chan = state.out[p];
-                if (!observers.empty()) {
-                    size_t chan_idx = channelIndexOf(chan);
-                    for (FabricObserver *obs : observers)
-                        obs->onTransmit(chan_idx, out[p]);
-                    TokenChannel::PushError err = chan->accepts(out[p]);
-                    if (err != TokenChannel::PushError::Ok) {
-                        auto kind =
-                            err == TokenChannel::PushError::BadLength
-                                ? FabricObserver::Anomaly::BadLength
-                                : FabricObserver::Anomaly::NonContiguous;
-                        if (reportAnomaly(kind, idx, p, chan, out[p])) {
-                            // Substitute a well-formed empty batch to
-                            // keep the channel's token stream intact.
-                            out[p] = TokenBatch(
-                                curCycle, static_cast<uint32_t>(quant));
-                        }
-                        // else: fall through to push(), which aborts
-                        // with the channel label.
-                    }
-                }
-                chan->push(std::move(out[p]));
-                ++batchCount;
-            }
+        // Phase 2: the actual endpoint work, in parallel when a pool
+        // is configured. Workers touch only their endpoint's private
+        // round buffers; the pool's barrier publishes their writes.
+        if (workers) {
+            workers->parallelFor(stepOrder.size(), [this](size_t i) {
+                advanceEndpoint(stepOrder[i]);
+            });
+        } else {
+            for (size_t idx : stepOrder)
+                advanceEndpoint(idx);
         }
+
+        // Phase 3 (driving thread, step order): transmit observers and
+        // channel pushes — all shared counters accumulate here, in an
+        // order independent of which worker ran what.
+        for (size_t idx : stepOrder)
+            commitEndpoint(idx);
 
         for (FabricObserver *obs : observers)
             obs->onRoundEnd(curCycle, roundCount);

@@ -18,6 +18,29 @@
  * invariant and results are independent of the order in which endpoints
  * are stepped (property-tested in tests/net).
  *
+ * Parallel round execution: that same step-order independence is the
+ * license to advance endpoints concurrently within a round — the
+ * decomposition the paper uses to put one blade per FPGA. Each round is
+ * executed in three phases:
+ *
+ *   1. prepare (driving thread, step order): per endpoint, query the
+ *      observers' down-verdict, pop one input batch per port, and hand
+ *      the endpoint recycled output batches.
+ *   2. advance (worker pool, barrier at the end): endpoint->advance()
+ *      calls run concurrently. Every channel already holds this round's
+ *      input batch before the round starts (latency seeding), so
+ *      workers touch only their endpoint's private buffers — channels
+ *      are never accessed concurrently.
+ *   3. commit (driving thread, step order): per endpoint, run transmit
+ *      observers and push the produced batches into their channels.
+ *
+ * Because phases 1 and 3 run on the driving thread in step order, every
+ * observer callback except onAdvanceStart/onAdvanceEnd fires in a
+ * deterministic sequence that is independent of the worker count, and
+ * all shared counters are accumulated there — simulation results,
+ * stats dumps, AutoCounter samples, and fault diagnostics are
+ * byte-identical between 1 worker and N workers.
+ *
  * Fault modeling and health monitoring: FabricObservers (src/fault) may
  * attach to the fabric to take endpoints down, mutate in-flight batches,
  * and convert token-protocol violations — an endpoint that stops
@@ -30,17 +53,19 @@
 #define FIRESIM_NET_FABRIC_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "base/units.hh"
 #include "net/token.hh"
 
 namespace firesim
 {
+
+class TokenFabric;
 
 /** One direction of a simulated link. */
 class TokenChannel
@@ -87,7 +112,7 @@ class TokenChannel
     void pushRaw(TokenBatch batch);
 
     /** Consumer side: true when a batch is ready. */
-    bool ready() const { return !queue.empty(); }
+    bool ready() const { return used > 0; }
 
     /** Consumer side: dequeue the next batch. */
     TokenBatch pop();
@@ -103,7 +128,7 @@ class TokenChannel
     Cycles nextPopCycle() const { return nextPopStart; }
 
     /** Number of buffered batches. */
-    size_t depth() const { return queue.size(); }
+    size_t depth() const { return used; }
 
     /** Steady-state depth: latency/quantum batches are always in flight. */
     size_t expectedDepth() const
@@ -112,12 +137,23 @@ class TokenChannel
     }
 
   private:
+    /** Append to the ring, growing only if it is full (never in the
+     *  steady state: the ring is sized for latency/quantum + slack). */
+    void enqueue(TokenBatch &&batch);
+    TokenBatch dequeue();
+
     Cycles lat;
     Cycles quant;
     std::string lbl = "unnamed-channel";
     Cycles nextPushStart = 0; //!< producer-side batch start bookkeeping
     Cycles nextPopStart = 0;  //!< consumer-side expected batch start
-    std::deque<TokenBatch> queue;
+    // Fixed-capacity ring instead of a deque: channel occupancy is
+    // invariant in the steady state, so a ring sized at construction
+    // never reallocates — one piece of the hot loop's zero-allocation
+    // guarantee (tests/net/fabric_alloc_test).
+    std::vector<TokenBatch> slots;
+    size_t head = 0; //!< index of the oldest batch
+    size_t used = 0; //!< batches in the ring
 };
 
 /**
@@ -125,6 +161,12 @@ class TokenChannel
  * token interface or a switch. The FAME-1 contract: advance() is handed
  * exactly one input batch per port and must fill one output batch per
  * port, advancing the component by `window` cycles.
+ *
+ * Threading: in parallel mode the fabric calls advance() from a worker
+ * thread, concurrently with other endpoints' advance() calls. All
+ * cross-endpoint interaction is mediated by the latency-buffered token
+ * channels, so an endpoint that only touches its own state (every
+ * endpoint in this code base) needs no synchronization.
  */
 class TokenEndpoint
 {
@@ -157,9 +199,17 @@ class TokenEndpoint
  *
  * Callback order within a round:
  *   onRoundStart -> per endpoint: endpointDown? -> [input anomalies]
- *   -> advance or skip -> per port: onTransmit -> [output anomalies]
- *   -> onRoundEnd
+ *   -> skip notification for down endpoints -> advance brackets
+ *   -> per port: onTransmit -> [output anomalies] -> onRoundEnd
  * Observers fire in registration order; endpointDown answers are OR-ed.
+ *
+ * Threading contract: every callback fires on the fabric's driving
+ * thread, in an order independent of the worker count, EXCEPT
+ * onAdvanceStart/onAdvanceEnd, which fire on whichever worker advances
+ * the endpoint and may run concurrently across endpoints when parallel
+ * execution is enabled (TokenFabric::setParallelHosts). Implementations
+ * of those two hooks must be thread-safe; for one endpoint the pair is
+ * always called on the same thread, in order.
  */
 class FabricObserver
 {
@@ -175,6 +225,14 @@ class FabricObserver
 
     virtual ~FabricObserver() = default;
 
+    /**
+     * Called once from TokenFabric::addObserver with the fabric the
+     * observer was just attached to. Observers that keep per-endpoint
+     * state (e.g. the host profiler's advance timers) size it here so
+     * no callback has to grow containers from a worker thread.
+     */
+    virtual void onAttach(TokenFabric &fabric) { (void)fabric; }
+
     /** Called once at the start of every round. */
     virtual void onRoundStart(Cycles round_start, uint64_t round)
     {
@@ -186,6 +244,8 @@ class FabricObserver
      * True when endpoint @p endpoint_idx must not run this round: the
      * fabric discards its inputs and emits empty token batches on its
      * behalf, keeping the rest of the cluster cycle-exact.
+     * Must depend only on (endpoint_idx, round_start) and state settled
+     * before the round — the fabric may ask before stepping anything.
      */
     virtual bool endpointDown(size_t endpoint_idx, Cycles round_start)
     {
@@ -207,6 +267,10 @@ class FabricObserver
      * Host-time profilers (src/telemetry) hang scoped timers here to
      * attribute wall-clock to switch ticks vs blade ticks without
      * touching the endpoints themselves.
+     *
+     * These two hooks are the only callbacks that may fire concurrently
+     * from worker threads (see the class comment); keep them
+     * thread-safe and free of target-visible side effects.
      */
     virtual void onAdvanceStart(size_t endpoint_idx, Cycles round_start)
     {
@@ -290,6 +354,19 @@ class TokenFabric
     void setFunctionalMode(Cycles window);
 
     /**
+     * Advance endpoints with @p hosts-way parallelism inside each
+     * round, modeling the paper's one-blade-per-FPGA scale-out on host
+     * threads. 0 and 1 both mean single-threaded execution (no pool is
+     * created); the round phase structure and all results are
+     * byte-identical for every value. Must not be called mid-run; may
+     * be called before or after finalize() and between run() calls.
+     */
+    void setParallelHosts(unsigned hosts);
+
+    /** Configured intra-round parallelism (>= 1). */
+    unsigned parallelHosts() const { return parHosts; }
+
+    /**
      * Finalize wiring: checks that every port is connected, computes the
      * round quantum, and seeds every channel with its latency's worth of
      * empty tokens. Must be called exactly once before run().
@@ -310,6 +387,13 @@ class TokenFabric
 
     /** Total batches moved across all channels so far (host traffic). */
     uint64_t batchesMoved() const { return batchCount; }
+
+    /**
+     * Flit-storage allocations the round loop could not serve from its
+     * recycling pool. Grows only while batch capacities are warming up;
+     * flat in the steady state (asserted in tests/net).
+     */
+    uint64_t batchAllocations() const { return pool.misses; }
 
     /**
      * Attach a fault-injection / health-monitoring observer. Callbacks
@@ -360,6 +444,44 @@ class TokenFabric
         // Per-port channels; in[i] feeds port i, out[i] drains it.
         std::vector<TokenChannel *> in;
         std::vector<TokenChannel *> out;
+
+        // Round-persistent buffers. `popped` holds this round's input
+        // batches, `inPtrs` aliases them for the advance() signature,
+        // `outs` the batches the endpoint fills. Only the worker
+        // stepping this endpoint touches them during the advance
+        // phase; the driving thread refills them between phases.
+        std::vector<TokenBatch> popped;
+        std::vector<const TokenBatch *> inPtrs;
+        std::vector<TokenBatch> outs;
+        bool down = false; //!< observers parked it this round
+    };
+
+    /**
+     * Free list of flit storage. Batches circulate producer -> channel
+     * -> consumer; the consumer's spent input vectors are recycled into
+     * the next round's output batches, so the steady-state round loop
+     * allocates nothing. Touched only from the driving thread (prepare
+     * and commit phases).
+     */
+    struct FlitPool
+    {
+        std::vector<std::vector<Flit>> free;
+        uint64_t misses = 0;
+
+        std::vector<Flit>
+        take()
+        {
+            if (free.empty()) {
+                ++misses;
+                return {};
+            }
+            std::vector<Flit> v = std::move(free.back());
+            free.pop_back();
+            v.clear();
+            return v;
+        }
+
+        void recycle(std::vector<Flit> &&v) { free.push_back(std::move(v)); }
     };
 
     EndpointState &stateFor(TokenEndpoint *endpoint);
@@ -375,12 +497,23 @@ class TokenFabric
                        uint32_t port, const TokenChannel *channel,
                        const TokenBatch &batch);
 
+    // ---- The three round phases (see the file comment) ---------------
+    /** Driving thread: down-verdict, input pops, output-batch prep. */
+    void prepareEndpoint(size_t idx);
+    /** Worker thread (or driving thread when single-threaded). */
+    void advanceEndpoint(size_t idx);
+    /** Driving thread: transmit observers and channel pushes. */
+    void commitEndpoint(size_t idx);
+
     Cycles functionalWindow = 0; //!< 0 = cycle-exact timing
     std::vector<Link> pendingLinks;
     std::vector<EndpointState> endpoints;
     std::vector<std::unique_ptr<TokenChannel>> channels;
     std::vector<FabricObserver *> observers;
     std::vector<size_t> stepOrder;
+    FlitPool pool;
+    std::unique_ptr<ThreadPool> workers; //!< null when single-threaded
+    unsigned parHosts = 1;
     Cycles quant = 0;
     Cycles curCycle = 0;
     uint64_t roundCount = 0;

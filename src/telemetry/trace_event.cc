@@ -18,6 +18,7 @@ TraceEventSink::TraceEventSink(size_t max_events)
 uint32_t
 TraceEventSink::intern(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mtx);
     for (size_t i = 0; i < names.size(); ++i)
         if (names[i] == name)
             return static_cast<uint32_t>(i);
@@ -37,6 +38,7 @@ void
 TraceEventSink::complete(uint32_t name_id, const char *category,
                          double ts_us, double dur_us, uint32_t tid)
 {
+    std::lock_guard<std::mutex> lock(mtx);
     if (events.size() >= maxEvents) {
         ++dropped;
         return;
@@ -46,9 +48,24 @@ TraceEventSink::complete(uint32_t name_id, const char *category,
     events.push_back(Event{name_id, tid, category, ts_us, dur_us});
 }
 
+size_t
+TraceEventSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return events.size();
+}
+
+uint64_t
+TraceEventSink::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return dropped;
+}
+
 std::string
 TraceEventSink::json() const
 {
+    std::lock_guard<std::mutex> lock(mtx);
     // The chrome://tracing "JSON object format": a traceEvents array
     // of complete events. pid is fixed (one simulator process); tid
     // separates the fabric lane from per-endpoint lanes.
@@ -82,7 +99,7 @@ TraceEventSink::writeJson(const std::string &path) const
     }
     inform("chrome trace written to %s (%zu spans, %llu dropped); open "
            "via chrome://tracing or ui.perfetto.dev",
-           path.c_str(), events.size(), (unsigned long long)dropped);
+           path.c_str(), eventCount(), (unsigned long long)droppedEvents());
     return true;
 }
 
@@ -100,6 +117,12 @@ HostProfiler::labelEndpoint(size_t idx, const std::string &name,
         labels.resize(idx + 1);
     labels[idx].name = sink.intern(name);
     labels[idx].cat = category;
+}
+
+void
+HostProfiler::onAttach(TokenFabric &fabric)
+{
+    advanceT0s.resize(fabric.endpointCount(), 0.0);
 }
 
 void
@@ -122,9 +145,11 @@ HostProfiler::onRoundEnd(Cycles round_start, uint64_t round)
 void
 HostProfiler::onAdvanceStart(size_t endpoint_idx, Cycles round_start)
 {
-    (void)endpoint_idx;
     (void)round_start;
-    advanceT0 = sink.nowUs();
+    FS_ASSERT(endpoint_idx < advanceT0s.size(),
+              "profiler attached before endpoint %zu was registered",
+              endpoint_idx);
+    advanceT0s[endpoint_idx] = sink.nowUs();
 }
 
 void
@@ -136,8 +161,8 @@ HostProfiler::onAdvanceEnd(size_t endpoint_idx, Cycles round_start)
         label = labels[endpoint_idx];
     else
         label.name = defaultName;
-    sink.complete(label.name, label.cat, advanceT0,
-                  sink.nowUs() - advanceT0,
+    double t0 = advanceT0s[endpoint_idx];
+    sink.complete(label.name, label.cat, t0, sink.nowUs() - t0,
                   static_cast<uint32_t>(endpoint_idx) + 1);
 }
 

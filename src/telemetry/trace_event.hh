@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,12 +49,14 @@ class TraceEventSink
      * Record one complete span. @p category must be a string with
      * static storage duration ("fabric", "switch", "blade", "phase").
      * Spans beyond the event cap are counted and discarded.
+     * Thread-safe: the host profiler records spans from the fabric's
+     * worker threads when parallel execution is enabled.
      */
     void complete(uint32_t name_id, const char *category, double ts_us,
                   double dur_us, uint32_t tid = 0);
 
-    size_t eventCount() const { return events.size(); }
-    uint64_t droppedEvents() const { return dropped; }
+    size_t eventCount() const;
+    uint64_t droppedEvents() const;
 
     /** The chrome://tracing document: {"traceEvents": [...], ...}. */
     std::string json() const;
@@ -72,6 +75,10 @@ class TraceEventSink
     };
 
     std::chrono::steady_clock::time_point epoch;
+    // Guards names/events/dropped: complete() may be called
+    // concurrently from fabric worker threads (json()/writeJson() are
+    // post-run and take it too, for TSan cleanliness).
+    mutable std::mutex mtx;
     std::vector<std::string> names;
     std::vector<Event> events;
     size_t maxEvents;
@@ -120,6 +127,9 @@ class HostProfiler : public FabricObserver
     void labelEndpoint(size_t idx, const std::string &name,
                        const char *category);
 
+    /** Presizes the per-endpoint advance timers (see below). */
+    void onAttach(TokenFabric &fabric) override;
+
     void onRoundStart(Cycles round_start, uint64_t round) override;
     void onRoundEnd(Cycles round_start, uint64_t round) override;
     void onAdvanceStart(size_t endpoint_idx, Cycles round_start) override;
@@ -137,7 +147,11 @@ class HostProfiler : public FabricObserver
     uint32_t defaultName;
     std::vector<EndpointLabel> labels;
     double roundT0 = 0;
-    double advanceT0 = 0;
+    // One start-timestamp slot per endpoint, presized at attach time:
+    // onAdvanceStart/onAdvanceEnd may run concurrently across endpoints
+    // (fabric threading contract), but each endpoint's pair stays on
+    // one thread, so disjoint slots need no locking.
+    std::vector<double> advanceT0s;
 };
 
 /**

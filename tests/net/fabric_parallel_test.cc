@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Parallel-fabric determinism property tests: the same topology run
+ * sequentially and with 2/4/8 worker threads must produce bit-identical
+ * results — final cycle, per-channel token streams, delivered frames,
+ * and host-side counters. This is the acceptance bar for
+ * TokenFabric::setParallelHosts (and what `ctest -L sanitize-thread`
+ * hammers under TSan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "switchmodel/switch.hh"
+#include "tests/net/scripted_endpoint.hh"
+
+namespace firesim
+{
+namespace
+{
+
+/**
+ * Hashes every transmitted batch — channel, stamp, and full flit
+ * payload — in commit order. Two runs with identical hashes moved
+ * identical token streams through identical channels in the same
+ * order (onTransmit fires on the driving thread in step order, for
+ * any worker count).
+ */
+class StreamHashObserver : public FabricObserver
+{
+  public:
+    uint64_t hash = 1469598103934665603ull;
+    uint64_t transmits = 0;
+
+    void
+    onTransmit(size_t channel_idx, TokenBatch &batch) override
+    {
+        ++transmits;
+        mix(channel_idx);
+        mix(batch.start);
+        mix(batch.len);
+        for (const Flit &f : batch.flits) {
+            mix(f.offset);
+            mix(f.last ? 1 : 0);
+            mix(f.size);
+            for (uint8_t b : f.data)
+                mix(b);
+        }
+    }
+
+  private:
+    void
+    mix(uint64_t v)
+    {
+        hash ^= v;
+        hash *= 1099511628211ull;
+    }
+};
+
+struct RunDigest
+{
+    std::vector<std::pair<Cycles, size_t>> frames;
+    uint64_t streamHash = 0;
+    uint64_t transmits = 0;
+    Cycles finalCycle = 0;
+    uint64_t batchesMoved = 0;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return frames == o.frames && streamHash == o.streamHash &&
+               transmits == o.transmits && finalCycle == o.finalCycle &&
+               batchesMoved == o.batchesMoved;
+    }
+};
+
+/**
+ * A 10-endpoint topology (8 scripted nodes on two 4-port switches
+ * joined by a trunk) with all-to-all scripted traffic, run for
+ * `cycles` with the given worker count.
+ */
+RunDigest
+runTopology(unsigned hosts, Cycles cycles)
+{
+    const Cycles lat = 200;
+
+    SwitchConfig scfg;
+    scfg.ports = 5; // 4 downlinks + trunk
+    Switch swA(scfg), swB(scfg);
+    std::vector<std::unique_ptr<ScriptedEndpoint>> eps;
+    TokenFabric fabric;
+    for (int i = 0; i < 8; ++i) {
+        eps.push_back(
+            std::make_unique<ScriptedEndpoint>(csprintf("n%d", i)));
+        fabric.addEndpoint(eps.back().get());
+    }
+    fabric.addEndpoint(&swA);
+    fabric.addEndpoint(&swB);
+    for (uint32_t i = 0; i < 8; ++i) {
+        Switch &sw = i < 4 ? swA : swB;
+        fabric.connect(eps[i].get(), 0, &sw, i % 4, lat);
+    }
+    fabric.connect(&swA, 4, &swB, 4, lat);
+    for (uint32_t i = 0; i < 8; ++i) {
+        swA.addMacEntry(MacAddr(i + 1), i < 4 ? i : 4);
+        swB.addMacEntry(MacAddr(i + 1), i < 4 ? 4 : i % 4);
+    }
+
+    StreamHashObserver stream;
+    fabric.addObserver(&stream);
+    fabric.finalize();
+    fabric.setParallelHosts(hosts);
+
+    // All-to-all: node i sends to nodes i+1 and i+3 (mod 8), staggered
+    // start cycles, distinct sizes, several waves.
+    for (uint32_t i = 0; i < 8; ++i) {
+        for (int wave = 0; wave < 3; ++wave) {
+            EthFrame f1(MacAddr(((i + 1) % 8) + 1), MacAddr(i + 1),
+                        EtherType::Raw,
+                        std::vector<uint8_t>(40 + i * 11 + wave,
+                                             uint8_t(i * 16 + wave)));
+            EthFrame f3(MacAddr(((i + 3) % 8) + 1), MacAddr(i + 1),
+                        EtherType::Raw,
+                        std::vector<uint8_t>(60 + i * 7 + wave,
+                                             uint8_t(i * 8 + wave)));
+            eps[i]->sendAt(15 + i * 5 + wave * 900, f1);
+            eps[i]->sendAt(450 + i * 5 + wave * 900, f3);
+        }
+    }
+
+    fabric.run(cycles);
+
+    RunDigest d;
+    for (auto &ep : eps)
+        for (auto &[cycle, frame] : ep->received)
+            d.frames.emplace_back(cycle, frame.bytes.size());
+    d.streamHash = stream.hash;
+    d.transmits = stream.transmits;
+    d.finalCycle = fabric.now();
+    d.batchesMoved = fabric.batchesMoved();
+    return d;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<unsigned /*hosts*/>
+{
+};
+
+TEST_P(ParallelDeterminism, BitIdenticalToSequential)
+{
+    RunDigest seq = runTopology(1, 6000);
+    RunDigest par = runTopology(GetParam(), 6000);
+    EXPECT_EQ(seq, par);
+    // The workload actually exercised the fabric.
+    EXPECT_EQ(seq.frames.size(), 8u * 2u * 3u);
+    EXPECT_GT(seq.transmits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelDeterminism,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(ParallelFabric, WorkerCountChangeableBetweenRuns)
+{
+    // One fabric, re-tuned between run() calls: the token streams keep
+    // flowing and the result matches a pure sequential run end-to-end.
+    RunDigest ref = runTopology(1, 6000);
+
+    const Cycles lat = 200;
+    SwitchConfig scfg;
+    scfg.ports = 5;
+    Switch swA(scfg), swB(scfg);
+    std::vector<std::unique_ptr<ScriptedEndpoint>> eps;
+    TokenFabric fabric;
+    for (int i = 0; i < 8; ++i) {
+        eps.push_back(
+            std::make_unique<ScriptedEndpoint>(csprintf("n%d", i)));
+        fabric.addEndpoint(eps.back().get());
+    }
+    fabric.addEndpoint(&swA);
+    fabric.addEndpoint(&swB);
+    for (uint32_t i = 0; i < 8; ++i)
+        fabric.connect(eps[i].get(), 0, i < 4 ? &swA : &swB, i % 4, lat);
+    fabric.connect(&swA, 4, &swB, 4, lat);
+    for (uint32_t i = 0; i < 8; ++i) {
+        swA.addMacEntry(MacAddr(i + 1), i < 4 ? i : 4);
+        swB.addMacEntry(MacAddr(i + 1), i < 4 ? 4 : i % 4);
+    }
+    StreamHashObserver stream;
+    fabric.addObserver(&stream);
+    fabric.finalize();
+    for (uint32_t i = 0; i < 8; ++i) {
+        for (int wave = 0; wave < 3; ++wave) {
+            EthFrame f1(MacAddr(((i + 1) % 8) + 1), MacAddr(i + 1),
+                        EtherType::Raw,
+                        std::vector<uint8_t>(40 + i * 11 + wave,
+                                             uint8_t(i * 16 + wave)));
+            EthFrame f3(MacAddr(((i + 3) % 8) + 1), MacAddr(i + 1),
+                        EtherType::Raw,
+                        std::vector<uint8_t>(60 + i * 7 + wave,
+                                             uint8_t(i * 8 + wave)));
+            eps[i]->sendAt(15 + i * 5 + wave * 900, f1);
+            eps[i]->sendAt(450 + i * 5 + wave * 900, f3);
+        }
+    }
+
+    fabric.run(1400);
+    fabric.setParallelHosts(4);
+    fabric.run(2600);
+    fabric.setParallelHosts(2);
+    fabric.run(1200);
+    fabric.setParallelHosts(1);
+    fabric.run(800);
+
+    RunDigest d;
+    for (auto &ep : eps)
+        for (auto &[cycle, frame] : ep->received)
+            d.frames.emplace_back(cycle, frame.bytes.size());
+    d.streamHash = stream.hash;
+    d.transmits = stream.transmits;
+    d.finalCycle = fabric.now();
+    d.batchesMoved = fabric.batchesMoved();
+    EXPECT_EQ(ref, d);
+}
+
+TEST(ParallelFabric, StepOrderStillIrrelevantWhenParallel)
+{
+    // Compose the two determinism licenses: permuted step order AND
+    // parallel advance must still match the canonical sequential run.
+    auto run_with = [](std::vector<size_t> order, unsigned hosts) {
+        SwitchConfig cfg;
+        cfg.ports = 4;
+        Switch sw(cfg);
+        std::vector<std::unique_ptr<ScriptedEndpoint>> eps;
+        TokenFabric fabric;
+        for (int i = 0; i < 4; ++i) {
+            eps.push_back(std::make_unique<ScriptedEndpoint>("e"));
+            fabric.addEndpoint(eps.back().get());
+        }
+        fabric.addEndpoint(&sw);
+        for (uint32_t i = 0; i < 4; ++i) {
+            sw.addMacEntry(MacAddr(i + 1), i);
+            fabric.connect(eps[i].get(), 0, &sw, i, 200);
+        }
+        if (!order.empty())
+            fabric.setStepOrder(std::move(order));
+        fabric.finalize();
+        fabric.setParallelHosts(hosts);
+        for (uint32_t i = 0; i < 4; ++i) {
+            EthFrame f(MacAddr(((i + 1) % 4) + 1), MacAddr(i + 1),
+                       EtherType::Raw,
+                       std::vector<uint8_t>(40 + i * 10, uint8_t(i)));
+            eps[i]->sendAt(10 + i * 3, f);
+        }
+        fabric.run(3000);
+        std::vector<std::pair<Cycles, size_t>> digest;
+        for (auto &ep : eps)
+            for (auto &[cycle, frame] : ep->received)
+                digest.emplace_back(cycle, frame.bytes.size());
+        return digest;
+    };
+
+    auto reference = run_with({}, 1);
+    EXPECT_EQ(reference.size(), 4u);
+    EXPECT_EQ(reference, run_with({4, 2, 0, 3, 1}, 4));
+    EXPECT_EQ(reference, run_with({3, 4, 1, 0, 2}, 8));
+}
+
+TEST(ParallelFabric, ParallelHostsAccessors)
+{
+    TokenFabric fabric;
+    EXPECT_EQ(fabric.parallelHosts(), 1u);
+    fabric.setParallelHosts(4);
+    EXPECT_EQ(fabric.parallelHosts(), 4u);
+    fabric.setParallelHosts(0); // 0 means "single-threaded", like 1
+    EXPECT_EQ(fabric.parallelHosts(), 1u);
+}
+
+} // namespace
+} // namespace firesim
