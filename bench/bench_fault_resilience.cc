@@ -54,6 +54,7 @@ runScenario(const FaultPlan &plan, size_t src, size_t dst,
 {
     TargetClock clk;
     ClusterConfig cc;
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::singleTor(8), cc);
     if (!plan.empty()) {
         // The benchmark prints its own tables; keep the per-event
@@ -87,8 +88,9 @@ runScenario(const FaultPlan &plan, size_t src, size_t dst,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Resilience", "Deterministic fault injection and "
                                 "graceful degradation");
     TargetClock clk;

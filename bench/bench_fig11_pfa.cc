@@ -34,6 +34,7 @@ runOne(bool genome, PagingMode mode, double local_fraction,
        const PfaWorkloadConfig &wc)
 {
     ClusterConfig cc;
+    bench::applyClusterFlags(cc);
     cc.net.mtu = 4400;
     cc.net.ringBufBytes = 8192;
     Cluster cluster(topologies::singleTor(2), cc);
@@ -83,8 +84,9 @@ runOne(bool genome, PagingMode mode, double local_fraction,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Figure 11", "Hardware-accelerated vs software paging");
 
     PfaWorkloadConfig wc;

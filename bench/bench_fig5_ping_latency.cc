@@ -33,7 +33,7 @@ main(int argc, char **argv)
         Cycles lat = clk.cyclesFromUs(lat_us);
         ClusterConfig cc;
         cc.linkLatency = lat;
-        cc.parallelHosts = bench::parallelHosts();
+        bench::applyClusterFlags(cc);
         Cluster cluster(topologies::singleTor(8), cc);
 
         PingConfig pc;

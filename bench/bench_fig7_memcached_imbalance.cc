@@ -40,7 +40,7 @@ runPoint(uint32_t threads, bool pinned, double target_qps,
     TargetClock clk;
     ClusterConfig cc;
     cc.net.rxQueues = 4; // multi-queue NIC: RSS across two softirqs
-    cc.parallelHosts = bench::parallelHosts();
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::singleTor(8), cc);
 
     MemcachedConfig mc;

@@ -25,6 +25,7 @@
  * scaling, the software analogue of the paper adding F1 FPGAs.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -57,6 +58,7 @@ double
 measuredMhz(uint32_t nodes, double target_us, unsigned hosts)
 {
     ClusterConfig cc;
+    bench::applyClusterFlags(cc);
     cc.parallelHosts = hosts;
     Cluster cluster(topoFor(nodes), cc);
     std::vector<BootResult> boots(nodes);
@@ -83,10 +85,60 @@ struct SweepCell
     double cyclesPerSec = 0.0;
 };
 
+/** One row of the scheduler-policy comparison (satellite of the round
+ *  scheduler): how evenly the worker pool was loaded. */
+struct BalanceRow
+{
+    SchedPolicy policy = SchedPolicy::RoundRobin;
+    double maxMeanBusy = 0.0; //!< max/mean worker busy-ns per round
+    uint64_t steals = 0;
+    uint64_t rounds = 0;
+    double cyclesPerSec = 0.0;
+};
+
+/**
+ * Boot-and-idle a 32-node single-ToR cluster (the ToR's 32 ports split
+ * into 8 advance slices at the default slice width) under @p policy
+ * and report the scheduler's load-balance telemetry. maxMeanBusy is
+ * Σ(per-round max worker busy) / Σ(per-round mean worker busy): 1.0 is
+ * a perfectly level pool, W (the worker count) is one worker doing
+ * everything.
+ */
+BalanceRow
+runBalance(SchedPolicy policy, unsigned hosts, double target_us)
+{
+    ClusterConfig cc;
+    bench::applyClusterFlags(cc);
+    cc.parallelHosts = hosts;
+    cc.schedPolicy = policy;
+    Cluster cluster(topologies::singleTor(32), cc);
+    std::vector<BootResult> boots(32);
+    BootConfig bc;
+    bc.kernelSectors = 2048;
+    bc.fsMetadataSectors = 256;
+    for (uint32_t n = 0; n < 32; ++n)
+        launchBootWorkload(cluster.node(n), bc, &boots[n]);
+    bench::Stopwatch clock;
+    cluster.runUs(target_us);
+    double wall_s = clock.seconds();
+
+    const SchedTelemetry &tel = cluster.fabric().schedTelemetry();
+    BalanceRow row;
+    row.policy = policy;
+    row.maxMeanBusy = tel.maxMeanBusyRatio();
+    row.steals = tel.totalSteals();
+    row.rounds = tel.rounds;
+    row.cyclesPerSec =
+        TargetClock().cyclesFromUs(target_us) / wall_s;
+    return row;
+}
+
 void
 writeSweepJson(const char *path, const std::vector<uint32_t> &scales,
                const std::vector<unsigned> &threads,
-               const std::vector<SweepCell> &cells)
+               const std::vector<SweepCell> &cells,
+               const std::vector<BalanceRow> &balance,
+               unsigned balance_hosts)
 {
     FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -131,7 +183,25 @@ writeSweepJson(const char *path, const std::vector<uint32_t> &scales,
         }
         std::fprintf(f, "}}%s\n", si + 1 < scales.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"load_balance\": {\n");
+    std::fprintf(f, "    \"topology\": \"singleTor32\",\n");
+    std::fprintf(f, "    \"workers\": %u,\n", balance_hosts);
+    std::fprintf(f, "    \"policies\": [\n");
+    for (size_t i = 0; i < balance.size(); ++i) {
+        const BalanceRow &b = balance[i];
+        std::fprintf(f,
+                     "      {\"policy\": \"%s\", "
+                     "\"max_mean_busy_ratio\": %.4f, "
+                     "\"steals\": %llu, \"rounds\": %llu, "
+                     "\"target_cycles_per_second\": %.6g}%s\n",
+                     schedPolicyName(b.policy), b.maxMeanBusy,
+                     (unsigned long long)b.steals,
+                     (unsigned long long)b.rounds, b.cyclesPerSec,
+                     i + 1 < balance.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("Wrote %s\n", path);
@@ -215,7 +285,29 @@ main(int argc, char **argv)
                 "drops accordingly — read the sweep on a multi-core\n"
                 "host to see the scaling the design is built for.\n\n");
 
-    writeSweepJson("BENCH_fig8.json", sweep_scales, threads, cells);
+    // Scheduler-policy comparison: same 32-node target, same worker
+    // count, three claiming policies. Results are bit-identical across
+    // policies — only the worker-pool balance and wall clock move.
+    const unsigned balance_hosts = std::max(2u, bench::parallelHosts());
+    std::vector<BalanceRow> balance;
+    Table bal({"Policy", "Max/mean busy", "Steals", "Rounds",
+               "Target cycles/s"});
+    for (SchedPolicy pol : {SchedPolicy::RoundRobin, SchedPolicy::Cost,
+                            SchedPolicy::Steal}) {
+        BalanceRow row = runBalance(pol, balance_hosts, sweep_us);
+        balance.push_back(row);
+        bal.addRow({schedPolicyName(row.policy),
+                    Table::fmt(row.maxMeanBusy, 3),
+                    Table::fmt(row.steals, 0), Table::fmt(row.rounds, 0),
+                    Table::fmt(row.cyclesPerSec / 1e6, 2) + " M"});
+    }
+    std::printf("Round-scheduler load balance (32-node single ToR, %u "
+                "workers; 1.0 = perfectly level pool):\n",
+                balance_hosts);
+    std::printf("%s\n", bal.render().c_str());
+
+    writeSweepJson("BENCH_fig8.json", sweep_scales, threads, cells,
+                   balance, balance_hosts);
 
     SwitchSpec dc = topologies::threeLevel(4, 8, 32);
     DeploymentPlan plan = planDeployment(dc, true);

@@ -31,7 +31,7 @@ measuredMhz(Cycles link_latency, double target_us)
 {
     ClusterConfig cc;
     cc.linkLatency = link_latency;
-    cc.parallelHosts = bench::parallelHosts();
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::twoLevel(2, 8), cc);
     bench::Stopwatch clock;
     cluster.runUs(target_us);
@@ -45,7 +45,7 @@ batchesPerKCycle(Cycles link_latency, Cycles quantum)
 {
     ClusterConfig cc;
     cc.linkLatency = link_latency;
-    cc.parallelHosts = bench::parallelHosts();
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::twoLevel(2, 8), cc);
     (void)quantum; // the fabric always batches by min link latency
     Cycles target = 64000;

@@ -24,6 +24,7 @@ double
 runOnce(uint32_t segment_bytes, double duration_ms)
 {
     ClusterConfig cc;
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::singleTor(2), cc);
     IperfResult result;
     launchIperfServer(cluster.node(0), 5201, 4, &result);
@@ -39,8 +40,9 @@ runOnce(uint32_t segment_bytes, double duration_ms)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Section IV-B",
                   "iperf3 bandwidth over the OS network stack");
     double ms = bench::fullScale() ? 20.0 : 5.0;

@@ -109,7 +109,7 @@ runPairing(const DcShape &shape, Pairing pairing, double per_server_qps,
 {
     TargetClock clk;
     ClusterConfig cc;
-    cc.parallelHosts = bench::parallelHosts();
+    bench::applyClusterFlags(cc);
     Cluster cluster(topologies::threeLevel(shape.aggs, shape.torsPerAgg,
                                            shape.serversPerTor),
                     cc);

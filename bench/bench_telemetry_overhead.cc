@@ -46,6 +46,7 @@ TrialResult
 runTrial(bool telemetry_on, double target_us, const std::string &trace_path)
 {
     ClusterConfig cc; // default 2 us links: realistic round quantum
+    bench::applyClusterFlags(cc);
     if (telemetry_on) {
         cc.telemetry.enabled = true;
         cc.telemetry.samplePeriod = 100000;
@@ -75,8 +76,9 @@ runTrial(bool telemetry_on, double target_us, const std::string &trace_path)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCommonFlags(argc, argv);
     bench::banner("Telemetry overhead",
                   "Out-of-band instrumentation cost on a 2-node ping run");
 

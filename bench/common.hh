@@ -9,13 +9,16 @@
 #ifndef FIRESIM_BENCH_COMMON_HH
 #define FIRESIM_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "base/table.hh"
 #include "base/units.hh"
+#include "net/sched.hh"
 
 namespace firesim::bench
 {
@@ -62,31 +65,138 @@ parallelHosts()
     return parallelHostsRef();
 }
 
+/** Round-scheduler policy (ClusterConfig::schedPolicy), set by
+ *  parseCommonFlags(); defaults to round-robin. */
+inline SchedPolicy &
+schedPolicyRef()
+{
+    static SchedPolicy policy = SchedPolicy::RoundRobin;
+    return policy;
+}
+
+inline SchedPolicy
+schedPolicy()
+{
+    return schedPolicyRef();
+}
+
+/** Switch egress-slice width (ClusterConfig::switchSlicePorts), set by
+ *  parseCommonFlags(); defaults to 4 (0 = monolithic switches). */
+inline unsigned &
+switchSlicePortsRef()
+{
+    static unsigned ports = 4;
+    return ports;
+}
+
+inline unsigned
+switchSlicePorts()
+{
+    return switchSlicePortsRef();
+}
+
+/**
+ * Parse @p text as a non-negative decimal integer; on anything else —
+ * empty, trailing junk, a sign, overflow — print a clear error naming
+ * @p what and exit(2). std::atoi silently turned "abc" and "-3" into
+ * garbage worker counts; benches now refuse instead.
+ */
+inline unsigned
+parseUnsignedKnob(const char *what, const char *text)
+{
+    if (text && *text == '+')
+        ++text; // strtoul accepts "+3"; keep it, reject bare signs below
+    char *end = nullptr;
+    errno = 0;
+    unsigned long v =
+        (text && *text && *text != '-') ? std::strtoul(text, &end, 10) : 0;
+    if (!text || !*text || *text == '-' || end == text || *end != '\0' ||
+        errno == ERANGE || v > UINT_MAX) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%s'\n",
+                     what, text ? text : "");
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** Parse @p text as a scheduler policy name or exit(2). */
+inline SchedPolicy
+parseSchedKnob(const char *what, const char *text)
+{
+    SchedPolicy policy;
+    if (!text || !parseSchedPolicy(text, policy)) {
+        std::fprintf(stderr,
+                     "error: %s expects rr, cost, or steal, got '%s'\n",
+                     what, text ? text : "");
+        std::exit(2);
+    }
+    return policy;
+}
+
 /**
  * Parse the flags every experiment binary understands:
- *   --parallel-hosts=N   fabric worker threads (also the
- *                        FIRESIM_PARALLEL_HOSTS environment variable;
- *                        the flag wins)
- * Unknown arguments are ignored so binaries stay permissive. Results
- * are bit-identical for every N — only wall-clock changes.
+ *   --parallel-hosts=N       fabric worker threads
+ *                            (env FIRESIM_PARALLEL_HOSTS)
+ *   --sched-policy=P         round scheduler: rr | cost | steal
+ *                            (env FIRESIM_SCHED_POLICY)
+ *   --switch-slice-ports=N   egress ports per switch advance slice,
+ *                            0 = monolithic switches
+ *                            (env FIRESIM_SWITCH_SLICE_PORTS)
+ * Flags win over the environment. Malformed values are an error, not a
+ * silent fallback. Unknown arguments are ignored so binaries stay
+ * permissive. Results are bit-identical for every combination — only
+ * wall-clock changes.
  */
 inline void
 parseCommonFlags(int argc, char **argv)
 {
     if (const char *env = std::getenv("FIRESIM_PARALLEL_HOSTS"))
-        parallelHostsRef() = static_cast<unsigned>(std::atoi(env));
-    const std::string flag = "--parallel-hosts=";
+        parallelHostsRef() = parseUnsignedKnob("FIRESIM_PARALLEL_HOSTS",
+                                               env);
+    if (const char *env = std::getenv("FIRESIM_SCHED_POLICY"))
+        schedPolicyRef() = parseSchedKnob("FIRESIM_SCHED_POLICY", env);
+    if (const char *env = std::getenv("FIRESIM_SWITCH_SLICE_PORTS"))
+        switchSlicePortsRef() =
+            parseUnsignedKnob("FIRESIM_SWITCH_SLICE_PORTS", env);
+
+    const std::string hosts_flag = "--parallel-hosts=";
+    const std::string sched_flag = "--sched-policy=";
+    const std::string slice_flag = "--switch-slice-ports=";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind(flag, 0) == 0)
-            parallelHostsRef() =
-                static_cast<unsigned>(std::atoi(arg.c_str() + flag.size()));
+        if (arg.rfind(hosts_flag, 0) == 0)
+            parallelHostsRef() = parseUnsignedKnob(
+                "--parallel-hosts", arg.c_str() + hosts_flag.size());
+        else if (arg.rfind(sched_flag, 0) == 0)
+            schedPolicyRef() = parseSchedKnob(
+                "--sched-policy", arg.c_str() + sched_flag.size());
+        else if (arg.rfind(slice_flag, 0) == 0)
+            switchSlicePortsRef() = parseUnsignedKnob(
+                "--switch-slice-ports", arg.c_str() + slice_flag.size());
     }
     if (parallelHostsRef() == 0)
         parallelHostsRef() = 1;
     if (parallelHostsRef() > 1)
-        std::printf("[bench] parallel hosts: %u fabric worker threads\n",
-                    parallelHostsRef());
+        std::printf("[bench] parallel hosts: %u fabric worker threads "
+                    "(sched policy: %s, switch slice ports: %u)\n",
+                    parallelHostsRef(),
+                    schedPolicyName(schedPolicy()), switchSlicePorts());
+}
+
+/**
+ * Apply every parsed knob to a ClusterConfig (templated so this header
+ * does not pull in the manager). Every bench that builds a Cluster
+ * funnels through here, so new knobs reach all of them at once.
+ */
+template <typename ClusterConfigT>
+inline void
+applyClusterFlags(ClusterConfigT &cc)
+{
+    cc.parallelHosts = parallelHosts();
+    cc.schedPolicy = schedPolicy();
+    cc.switchSlicePorts = switchSlicePorts();
 }
 
 /** Wall-clock stopwatch for simulation-rate measurements. */

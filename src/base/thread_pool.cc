@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(unsigned width) : width_(width)
         fatal("thread pool width must be at least 1");
     workers.reserve(width - 1);
     for (unsigned i = 0; i + 1 < width; ++i)
-        workers.emplace_back([this] { workerMain(); });
+        workers.emplace_back([this, i] { workerMain(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -41,7 +41,7 @@ ThreadPool::drainItems()
 }
 
 void
-ThreadPool::workerMain()
+ThreadPool::workerMain(unsigned id)
 {
     uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mtx);
@@ -51,8 +51,12 @@ ThreadPool::workerMain()
         if (shutdown)
             return;
         seen = generation;
+        bool per = perWorker;
         lock.unlock();
-        drainItems();
+        if (per)
+            jobFn(jobCtx, id);
+        else
+            drainItems();
         lock.lock();
         if (--pending == 0)
             finished.notify_one();
@@ -90,6 +94,34 @@ ThreadPool::runBatch(size_t n, BatchFn fn, void *ctx)
 
     std::unique_lock<std::mutex> lock(mtx);
     finished.wait(lock, [&] { return pending == 0; });
+}
+
+void
+ThreadPool::runPerWorker(BatchFn fn, void *ctx)
+{
+    if (workers.empty()) {
+        fn(ctx, 0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        FS_ASSERT(pending == 0, "ThreadPool dispatch is not reentrant");
+        jobFn = fn;
+        jobCtx = ctx;
+        jobN = 0;
+        perWorker = true;
+        pending = static_cast<unsigned>(workers.size());
+        ++generation;
+    }
+    wake.notify_all();
+
+    // The caller is worker 0.
+    fn(ctx, 0);
+
+    std::unique_lock<std::mutex> lock(mtx);
+    finished.wait(lock, [&] { return pending == 0; });
+    perWorker = false;
 }
 
 } // namespace firesim

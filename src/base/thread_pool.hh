@@ -79,11 +79,33 @@ class ThreadPool
                  const_cast<std::remove_const_t<F> *>(&fn));
     }
 
+    /**
+     * Execute fn(worker_id) exactly once on every thread of the pool —
+     * the calling thread runs fn(0), spawned worker i runs fn(i + 1) —
+     * and return when all have finished. Unlike parallelFor, the
+     * mapping from id to host thread is fixed, so callers can hand each
+     * participant a private work queue (the round scheduler's
+     * work-stealing deques need stable owner identities). Same barrier
+     * and reentrancy rules as parallelFor; allocation-free.
+     */
+    template <typename Fn>
+    void
+    parallelRun(Fn &&fn)
+    {
+        using F = std::remove_reference_t<Fn>;
+        runPerWorker(
+            [](void *ctx, size_t i) {
+                (*static_cast<F *>(ctx))(static_cast<unsigned>(i));
+            },
+            const_cast<std::remove_const_t<F> *>(&fn));
+    }
+
   private:
     using BatchFn = void (*)(void *ctx, size_t index);
 
     void runBatch(size_t n, BatchFn fn, void *ctx);
-    void workerMain();
+    void runPerWorker(BatchFn fn, void *ctx);
+    void workerMain(unsigned id);
 
     /** Claim-and-run loop shared by workers and the caller. */
     void drainItems();
@@ -103,6 +125,7 @@ class ThreadPool
 
     uint64_t generation = 0; //!< batch sequence number (under mtx)
     unsigned pending = 0;    //!< workers still draining (under mtx)
+    bool perWorker = false;  //!< batch is a parallelRun (under mtx)
     bool shutdown = false;   //!< workers must exit (under mtx)
 };
 

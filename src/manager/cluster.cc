@@ -71,6 +71,7 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
 
     fabric_.finalize();
     fabric_.setParallelHosts(cfg.parallelHosts);
+    fabric_.setSchedPolicy(cfg.schedPolicy);
 
     if (cfg.telemetry.enabled)
         setupTelemetry();
@@ -133,6 +134,38 @@ Cluster::setupTelemetry()
     reg.registerProbe("cluster.fabric.batchesMoved", [fab] {
         return static_cast<double>(fab->batchesMoved());
     });
+
+    if (cfg.telemetry.schedStats) {
+        // Wall-clock scheduler counters — gated separately because they
+        // make stats.json vary run to run (see TelemetryConfig). The
+        // telemetry vectors are sized lazily on the first parallel
+        // round, so the probes bounds-check.
+        reg.registerProbe("cluster.fabric.sched.maxMeanBusyRatio", [fab] {
+            return fab->schedTelemetry().maxMeanBusyRatio();
+        });
+        reg.registerProbe("cluster.fabric.sched.steals", [fab] {
+            return static_cast<double>(fab->schedTelemetry().totalSteals());
+        });
+        for (unsigned w = 0; w < std::max(1u, cfg.parallelHosts); ++w) {
+            std::string wp = csprintf("cluster.fabric.sched.worker%u", w);
+            auto worker = [fab, w]() -> const SchedTelemetry::Worker * {
+                const auto &ws = fab->schedTelemetry().workers;
+                return w < ws.size() ? &ws[w] : nullptr;
+            };
+            reg.registerProbe(wp + ".busyNs", [worker] {
+                const auto *s = worker();
+                return s ? static_cast<double>(s->busyNs) : 0.0;
+            });
+            reg.registerProbe(wp + ".unitsRun", [worker] {
+                const auto *s = worker();
+                return s ? static_cast<double>(s->unitsRun) : 0.0;
+            });
+            reg.registerProbe(wp + ".steals", [worker] {
+                const auto *s = worker();
+                return s ? static_cast<double>(s->steals) : 0.0;
+            });
+        }
+    }
 
     telemetry_->attach(fabric_);
 
@@ -249,6 +282,7 @@ Cluster::buildSubtree(const SwitchSpec &spec, uint32_t depth)
     scfg.ports = spec.downlinkCount() + (depth > 0 ? 1 : 0);
     scfg.minLatency = cfg.switchLatency;
     scfg.dropBound = cfg.switchDropBound;
+    scfg.slicePorts = cfg.switchSlicePorts;
     switches.push_back(std::make_unique<Switch>(scfg));
     switchSpecs.push_back(&spec);
     switchPortServers.emplace_back(spec.downlinkCount());

@@ -105,6 +105,21 @@ struct ClusterConfig
      * simulation results and telemetry (TokenFabric round phases).
      */
     unsigned parallelHosts = 1;
+    /**
+     * Output ports per switch egress slice (SwitchConfig::slicePorts),
+     * applied to every switch the manager builds: big-radix switches
+     * split into multiple advance units so one 32-port ToR no longer
+     * serializes a parallel round. 0 keeps every switch monolithic.
+     * Bit-identical results for every value.
+     */
+    uint32_t switchSlicePorts = 4;
+    /**
+     * How the fabric's round scheduler places advance units on worker
+     * threads (net/sched.hh): static round-robin, EWMA-cost LPT
+     * partitioning, or cost partitioning plus work stealing. Pure host
+     * policy — results are bit-identical across policies.
+     */
+    SchedPolicy schedPolicy = SchedPolicy::RoundRobin;
 };
 
 class Cluster

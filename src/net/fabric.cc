@@ -6,6 +6,48 @@
 namespace firesim
 {
 
+void
+TokenEndpoint::advanceBegin(Cycles window_start, Cycles window,
+                            const std::vector<const TokenBatch *> &in,
+                            std::vector<TokenBatch> &out)
+{
+    (void)window_start;
+    (void)window;
+    (void)in;
+    (void)out;
+    panic("endpoint %s reports %u slices but does not implement "
+          "advanceBegin()",
+          name().c_str(), advanceSliceCount());
+}
+
+void
+TokenEndpoint::advanceSlice(uint32_t slice, Cycles window_start,
+                            Cycles window,
+                            const std::vector<const TokenBatch *> &in,
+                            std::vector<TokenBatch> &out)
+{
+    (void)slice;
+    (void)window_start;
+    (void)window;
+    (void)in;
+    (void)out;
+    panic("endpoint %s reports %u slices but does not implement "
+          "advanceSlice()",
+          name().c_str(), advanceSliceCount());
+}
+
+void
+TokenEndpoint::advanceMerge(Cycles window_start, Cycles window,
+                            std::vector<TokenBatch> &out)
+{
+    (void)window_start;
+    (void)window;
+    (void)out;
+    panic("endpoint %s reports %u slices but does not implement "
+          "advanceMerge()",
+          name().c_str(), advanceSliceCount());
+}
+
 TokenChannel::TokenChannel(Cycles latency, Cycles quantum)
     : lat(latency), quant(quantum)
 {
@@ -174,11 +216,23 @@ TokenFabric::setParallelHosts(unsigned hosts)
     FS_ASSERT(!running, "setParallelHosts() mid-run");
     parHosts = hosts == 0 ? 1 : hosts;
     if (parHosts >= 2) {
-        if (!workers || workers->width() != parHosts)
+        if (!workers || workers->width() != parHosts) {
             workers = std::make_unique<ThreadPool>(parHosts);
+            schedWidth = 0; // force scheduler reconfiguration
+        }
     } else {
         workers.reset();
+        schedWidth = 0;
     }
+}
+
+void
+TokenFabric::setSchedPolicy(SchedPolicy policy)
+{
+    FS_ASSERT(!running, "setSchedPolicy() mid-run");
+    schedPol = policy;
+    schedBegin.setPolicy(policy);
+    schedMain.setPolicy(policy);
 }
 
 void
@@ -247,6 +301,32 @@ TokenFabric::finalize()
         stepOrder.resize(endpoints.size());
         std::iota(stepOrder.begin(), stepOrder.end(), 0);
     }
+
+    // Build the advance-unit lists the round schedulers partition. A
+    // sliced endpoint contributes its serial prologue to the begin pass
+    // and one unit per slice to the main pass; everything else is one
+    // monolithic unit in the main pass.
+    beginUnits.clear();
+    mainUnits.clear();
+    for (size_t i = 0; i < endpoints.size(); ++i) {
+        EndpointState &state = endpoints[i];
+        uint32_t slices = state.endpoint->advanceSliceCount();
+        FS_ASSERT(slices >= 1, "endpoint %s reports 0 advance slices",
+                  state.endpoint->name().c_str());
+        state.slices = slices;
+        if (slices > 1) {
+            beginUnits.push_back(
+                {static_cast<uint32_t>(i), FabricObserver::kBeginSlice});
+            for (uint32_t s = 0; s < slices; ++s)
+                mainUnits.push_back(
+                    {static_cast<uint32_t>(i), static_cast<int32_t>(s)});
+        } else {
+            mainUnits.push_back(
+                {static_cast<uint32_t>(i), AdvanceUnit::kWholeEndpoint});
+        }
+    }
+    schedWidth = 0; // unit lists changed; reconfigure before next run
+
     finalized = true;
 }
 
@@ -389,11 +469,9 @@ TokenFabric::prepareEndpoint(size_t idx)
 }
 
 void
-TokenFabric::advanceEndpoint(size_t idx)
+TokenFabric::advanceMonolithic(size_t idx)
 {
     EndpointState &state = endpoints[idx];
-    if (state.down)
-        return;
     for (FabricObserver *obs : observers)
         obs->onAdvanceStart(idx, curCycle);
     state.endpoint->advance(curCycle, quant, state.inPtrs, state.outs);
@@ -402,10 +480,92 @@ TokenFabric::advanceEndpoint(size_t idx)
 }
 
 void
+TokenFabric::advanceBeginPhase(size_t idx)
+{
+    EndpointState &state = endpoints[idx];
+    for (FabricObserver *obs : observers)
+        obs->onSliceStart(idx, FabricObserver::kBeginSlice, curCycle);
+    state.endpoint->advanceBegin(curCycle, quant, state.inPtrs,
+                                 state.outs);
+    for (FabricObserver *obs : observers)
+        obs->onSliceEnd(idx, FabricObserver::kBeginSlice, curCycle);
+}
+
+void
+TokenFabric::advanceSlicePhase(size_t idx, uint32_t slice)
+{
+    EndpointState &state = endpoints[idx];
+    for (FabricObserver *obs : observers)
+        obs->onSliceStart(idx, static_cast<int32_t>(slice), curCycle);
+    state.endpoint->advanceSlice(slice, curCycle, quant, state.inPtrs,
+                                 state.outs);
+    for (FabricObserver *obs : observers)
+        obs->onSliceEnd(idx, static_cast<int32_t>(slice), curCycle);
+}
+
+void
+TokenFabric::advanceEndpoint(size_t idx)
+{
+    EndpointState &state = endpoints[idx];
+    if (state.down)
+        return;
+    if (state.slices > 1) {
+        // Single-threaded sliced execution: same phases, same observer
+        // brackets, inline — so slicing itself cannot perturb results
+        // or telemetry relative to the parallel path.
+        advanceBeginPhase(idx);
+        for (uint32_t s = 0; s < state.slices; ++s)
+            advanceSlicePhase(idx, s);
+    } else {
+        advanceMonolithic(idx);
+    }
+}
+
+void
+TokenFabric::execBeginUnit(uint32_t unit)
+{
+    const AdvanceUnit &u = beginUnits[unit];
+    if (endpoints[u.endpoint].down)
+        return;
+    advanceBeginPhase(u.endpoint);
+}
+
+void
+TokenFabric::execMainUnit(uint32_t unit)
+{
+    const AdvanceUnit &u = mainUnits[unit];
+    if (endpoints[u.endpoint].down)
+        return;
+    if (u.slice == AdvanceUnit::kWholeEndpoint)
+        advanceMonolithic(u.endpoint);
+    else
+        advanceSlicePhase(u.endpoint, static_cast<uint32_t>(u.slice));
+}
+
+void
+TokenFabric::ensureSchedulers()
+{
+    unsigned width = workers->width();
+    if (schedWidth == width)
+        return;
+    schedWidth = width;
+    schedTel.reset(width);
+    schedBegin.configure(beginUnits.size(), width, &schedTel);
+    schedMain.configure(mainUnits.size(), width, &schedTel);
+    schedBegin.setPolicy(schedPol);
+    schedMain.setPolicy(schedPol);
+}
+
+void
 TokenFabric::commitEndpoint(size_t idx)
 {
     EndpointState &state = endpoints[idx];
     uint32_t ports = state.endpoint->numPorts();
+    // Sliced endpoints fold their per-slice scratch into shared state
+    // here, on the driving thread in step order, before any of their
+    // batches are observed or pushed.
+    if (state.slices > 1 && !state.down)
+        state.endpoint->advanceMerge(curCycle, quant, state.outs);
     for (uint32_t p = 0; p < ports; ++p) {
         TokenChannel *chan = state.out[p];
         if (!observers.empty()) {
@@ -452,12 +612,28 @@ TokenFabric::run(Cycles cycles)
             prepareEndpoint(idx);
 
         // Phase 2: the actual endpoint work, in parallel when a pool
-        // is configured. Workers touch only their endpoint's private
-        // round buffers; the pool's barrier publishes their writes.
+        // is configured. Workers touch only their unit's private round
+        // buffers; each dispatch's barrier publishes their writes. The
+        // begin pass (sliced endpoints' serial prologues) fully
+        // completes before any slice of the main pass runs.
         if (workers) {
-            workers->parallelFor(stepOrder.size(), [this](size_t i) {
-                advanceEndpoint(stepOrder[i]);
-            });
+            ensureSchedulers();
+            schedTel.beginRound();
+            if (!beginUnits.empty()) {
+                schedBegin.dispatch(
+                    *workers,
+                    [](void *ctx, uint32_t u) {
+                        static_cast<TokenFabric *>(ctx)->execBeginUnit(u);
+                    },
+                    this);
+            }
+            schedMain.dispatch(
+                *workers,
+                [](void *ctx, uint32_t u) {
+                    static_cast<TokenFabric *>(ctx)->execMainUnit(u);
+                },
+                this);
+            schedTel.endRound();
         } else {
             for (size_t idx : stepOrder)
                 advanceEndpoint(idx);

@@ -30,9 +30,15 @@
  *      calls run concurrently. Every channel already holds this round's
  *      input batch before the round starts (latency seeding), so
  *      workers touch only their endpoint's private buffers — channels
- *      are never accessed concurrently.
- *   3. commit (driving thread, step order): per endpoint, run transmit
- *      observers and push the produced batches into their channels.
+ *      are never accessed concurrently. Endpoints may further split
+ *      this phase into AdvanceUnits (a serial begin, N concurrent
+ *      slices, a driving-thread merge — see TokenEndpoint); a
+ *      RoundScheduler (net/sched.hh) places the units on workers,
+ *      optionally cost-model-driven with work stealing. Placement is
+ *      pure host policy and never affects simulated state.
+ *   3. commit (driving thread, step order): per endpoint, merge any
+ *      slice scratch, then run transmit observers and push the
+ *      produced batches into their channels.
  *
  * Because phases 1 and 3 run on the driving thread in step order, every
  * observer callback except onAdvanceStart/onAdvanceEnd fires in a
@@ -60,6 +66,7 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "base/units.hh"
+#include "net/sched.hh"
 #include "net/token.hh"
 
 namespace firesim
@@ -190,6 +197,45 @@ class TokenEndpoint
     virtual void advance(Cycles window_start, Cycles window,
                          const std::vector<const TokenBatch *> &in,
                          std::vector<TokenBatch> &out) = 0;
+
+    // ---- Sliced advance (optional) -----------------------------------
+    //
+    // A big endpoint (a 32-port switch) is one advance() unit and can
+    // dominate a parallel round. An endpoint may instead split each
+    // round into independent slices: the fabric then drives it as
+    //
+    //   advanceBegin   (one worker: the serial prologue, e.g. ingress
+    //                   and classification)
+    //   advanceSlice x advanceSliceCount()  (workers, concurrently;
+    //                   slices must touch disjoint state)
+    //   advanceMerge   (driving thread, in step order, before commit:
+    //                   fold per-slice scratch into shared state)
+    //
+    // and never calls advance(). The begin phase of every sliced
+    // endpoint runs to completion (pool barrier) before any slice runs.
+    // Because slices share no mutable state and all folding happens in
+    // step order on the driving thread, results and telemetry stay
+    // byte-identical to the monolithic path for any worker count.
+
+    /** Number of independent slices this endpoint splits a round into;
+     *  1 (the default) means the plain advance() path. Must be stable
+     *  while the endpoint is registered with a fabric. */
+    virtual uint32_t advanceSliceCount() const { return 1; }
+
+    /** Serial prologue of a sliced round (single worker). */
+    virtual void advanceBegin(Cycles window_start, Cycles window,
+                              const std::vector<const TokenBatch *> &in,
+                              std::vector<TokenBatch> &out);
+
+    /** One concurrent slice; `slice` < advanceSliceCount(). */
+    virtual void advanceSlice(uint32_t slice, Cycles window_start,
+                              Cycles window,
+                              const std::vector<const TokenBatch *> &in,
+                              std::vector<TokenBatch> &out);
+
+    /** Driving-thread epilogue: fold slice scratch into shared state. */
+    virtual void advanceMerge(Cycles window_start, Cycles window,
+                              std::vector<TokenBatch> &out);
 };
 
 /**
@@ -284,6 +330,35 @@ class FabricObserver
         (void)round_start;
     }
 
+    /** `slice` value passed to the slice brackets for the serial
+     *  advanceBegin() prologue of a sliced endpoint. */
+    static constexpr int32_t kBeginSlice = -1;
+
+    /**
+     * Bracketing hooks around one phase of a *sliced* endpoint's round
+     * (see TokenEndpoint::advanceSliceCount). Sliced endpoints fire
+     * these instead of onAdvanceStart/onAdvanceEnd — their phases run
+     * concurrently, so a single per-endpoint bracket would be racy.
+     * Same threading contract as onAdvanceStart/End: may fire from any
+     * worker, concurrently across (endpoint, slice) pairs; for one
+     * (endpoint, slice) the pair is called on one thread, in order.
+     */
+    virtual void onSliceStart(size_t endpoint_idx, int32_t slice,
+                              Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)slice;
+        (void)round_start;
+    }
+
+    virtual void onSliceEnd(size_t endpoint_idx, int32_t slice,
+                            Cycles round_start)
+    {
+        (void)endpoint_idx;
+        (void)slice;
+        (void)round_start;
+    }
+
     /**
      * Mutate an outbound batch before it enters its channel. Called for
      * every produced batch, including the empty ones emitted on behalf
@@ -365,6 +440,26 @@ class TokenFabric
 
     /** Configured intra-round parallelism (>= 1). */
     unsigned parallelHosts() const { return parHosts; }
+
+    /**
+     * Select how advance units are partitioned across the worker pool
+     * (net/sched.hh). Pure host-side placement: results and telemetry
+     * are byte-identical for every policy. Must not be called mid-run.
+     */
+    void setSchedPolicy(SchedPolicy policy);
+    SchedPolicy schedPolicy() const { return schedPol; }
+
+    /**
+     * Wall-clock per-worker load accounting for the parallel round
+     * loop. Meaningful only after run() with parallelHosts >= 2;
+     * never part of the deterministic telemetry surface.
+     */
+    const SchedTelemetry &schedTelemetry() const { return schedTel; }
+
+    /** Advance units in the main pass (slices + monolithic advances);
+     *  equals endpointCount() when nothing is sliced. Requires
+     *  finalize(). */
+    size_t advanceUnitCount() const { return mainUnits.size(); }
 
     /**
      * Finalize wiring: checks that every port is connected, computes the
@@ -453,7 +548,21 @@ class TokenFabric
         std::vector<TokenBatch> popped;
         std::vector<const TokenBatch *> inPtrs;
         std::vector<TokenBatch> outs;
-        bool down = false; //!< observers parked it this round
+        uint32_t slices = 1; //!< cached advanceSliceCount()
+        bool down = false;   //!< observers parked it this round
+    };
+
+    /**
+     * One schedulable piece of a round's advance phase: either a whole
+     * endpoint's advance() (slice == kWholeEndpoint) or one slice of a
+     * sliced endpoint. Built at finalize(); indices into these lists
+     * are what the RoundScheduler partitions.
+     */
+    struct AdvanceUnit
+    {
+        static constexpr int32_t kWholeEndpoint = -1;
+        uint32_t endpoint = 0;
+        int32_t slice = kWholeEndpoint;
     };
 
     /**
@@ -500,10 +609,21 @@ class TokenFabric
     // ---- The three round phases (see the file comment) ---------------
     /** Driving thread: down-verdict, input pops, output-batch prep. */
     void prepareEndpoint(size_t idx);
-    /** Worker thread (or driving thread when single-threaded). */
+    /** Single-threaded phase 2: whole endpoint, slices inline. */
     void advanceEndpoint(size_t idx);
-    /** Driving thread: transmit observers and channel pushes. */
+    /** Driving thread: slice merge, transmit observers, pushes. */
     void commitEndpoint(size_t idx);
+
+    // Phase-2 building blocks shared by the single-threaded path and
+    // the scheduler's unit bodies (any worker thread).
+    void advanceMonolithic(size_t idx);
+    void advanceBeginPhase(size_t idx);
+    void advanceSlicePhase(size_t idx, uint32_t slice);
+    /** Scheduler unit bodies. */
+    void execBeginUnit(uint32_t unit);
+    void execMainUnit(uint32_t unit);
+    /** (Re)configure the schedulers when the pool width changed. */
+    void ensureSchedulers();
 
     Cycles functionalWindow = 0; //!< 0 = cycle-exact timing
     std::vector<Link> pendingLinks;
@@ -514,6 +634,17 @@ class TokenFabric
     FlitPool pool;
     std::unique_ptr<ThreadPool> workers; //!< null when single-threaded
     unsigned parHosts = 1;
+    // Advance-unit lists (finalize) and their round schedulers. The
+    // begin pass holds sliced endpoints' serial prologues; the main
+    // pass holds every slice plus every monolithic advance. Two passes
+    // ensure a sliced endpoint's ingress completes before its slices.
+    std::vector<AdvanceUnit> beginUnits;
+    std::vector<AdvanceUnit> mainUnits;
+    RoundScheduler schedBegin;
+    RoundScheduler schedMain;
+    SchedTelemetry schedTel;
+    SchedPolicy schedPol = SchedPolicy::RoundRobin;
+    unsigned schedWidth = 0; //!< pool width the schedulers are built for
     Cycles quant = 0;
     Cycles curCycle = 0;
     uint64_t roundCount = 0;

@@ -1,0 +1,283 @@
+#include "net/sched.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** EWMA smoothing factor: heavy enough to track boot->idle phase
+ *  changes within a few rounds, light enough to ride out timer noise. */
+constexpr double kEwmaAlpha = 0.25;
+
+} // namespace
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::RoundRobin:
+        return "rr";
+      case SchedPolicy::Cost:
+        return "cost";
+      case SchedPolicy::Steal:
+        return "steal";
+    }
+    return "?";
+}
+
+bool
+parseSchedPolicy(const std::string &text, SchedPolicy &out)
+{
+    if (text == "rr" || text == "roundrobin") {
+        out = SchedPolicy::RoundRobin;
+        return true;
+    }
+    if (text == "cost") {
+        out = SchedPolicy::Cost;
+        return true;
+    }
+    if (text == "steal") {
+        out = SchedPolicy::Steal;
+        return true;
+    }
+    return false;
+}
+
+void
+SchedTelemetry::reset(unsigned width)
+{
+    workers.assign(width, Worker{});
+    roundBusy.assign(width, 0);
+    rounds = 0;
+    sumMaxBusyNs = 0;
+    sumTotalBusyNs = 0;
+}
+
+void
+SchedTelemetry::beginRound()
+{
+    std::fill(roundBusy.begin(), roundBusy.end(), 0);
+}
+
+void
+SchedTelemetry::endRound()
+{
+    uint64_t max = 0, total = 0;
+    for (uint64_t b : roundBusy) {
+        max = std::max(max, b);
+        total += b;
+    }
+    // Rounds where nothing was measured (no units, or a width change
+    // mid-run) would skew the ratio toward zero; skip them.
+    if (total == 0)
+        return;
+    ++rounds;
+    sumMaxBusyNs += max;
+    sumTotalBusyNs += total;
+}
+
+double
+SchedTelemetry::maxMeanBusyRatio() const
+{
+    if (sumTotalBusyNs == 0 || workers.empty())
+        return 0.0;
+    double mean = static_cast<double>(sumTotalBusyNs) /
+                  static_cast<double>(workers.size());
+    return static_cast<double>(sumMaxBusyNs) / mean;
+}
+
+uint64_t
+SchedTelemetry::totalSteals() const
+{
+    uint64_t sum = 0;
+    for (const Worker &w : workers)
+        sum += w.steals;
+    return sum;
+}
+
+uint64_t
+SchedTelemetry::totalBusyNs() const
+{
+    uint64_t sum = 0;
+    for (const Worker &w : workers)
+        sum += w.busyNs;
+    return sum;
+}
+
+void
+RoundScheduler::configure(size_t units, unsigned width,
+                          SchedTelemetry *telemetry)
+{
+    FS_ASSERT(width >= 1, "scheduler width must be at least 1");
+    FS_ASSERT(!telemetry || telemetry->workers.size() >= width,
+              "telemetry not sized for the pool");
+    units_ = units;
+    tel = telemetry;
+    ewmaNs.assign(units, 0.0);
+    lastNs.assign(units, 0);
+    if (deques.size() != width)
+        deques.resize(width);
+    for (StealDeque &d : deques)
+        d.reserve(units);
+    order.clear();
+    order.reserve(units);
+    load.assign(width, 0.0);
+    plan.resize(width);
+    for (std::vector<uint32_t> &p : plan) {
+        p.clear();
+        p.reserve(units);
+    }
+    scratch.assign(width, WorkerScratch{});
+}
+
+void
+RoundScheduler::partition(unsigned width)
+{
+    for (unsigned w = 0; w < width; ++w)
+        deques[w].reset();
+
+    if (policy_ == SchedPolicy::RoundRobin || width == 1) {
+        for (uint32_t u = 0; u < units_; ++u)
+            deques[u % width].push(u);
+        return;
+    }
+
+    // Longest-processing-time-first: place units in descending expected
+    // cost onto the currently least-loaded worker. The comparator's
+    // index tiebreak makes the plan a pure function of the EWMA table.
+    order.clear();
+    for (uint32_t u = 0; u < units_; ++u)
+        order.push_back(u);
+    // std::sort, not stable_sort: the latter allocates, and the index
+    // tiebreak already pins the order.
+    std::sort(order.begin(), order.end(),
+              [this](uint32_t a, uint32_t b) {
+                  if (ewmaNs[a] != ewmaNs[b])
+                      return ewmaNs[a] > ewmaNs[b];
+                  return a < b;
+              });
+    std::fill(load.begin(), load.end(), 0.0);
+    for (unsigned w = 0; w < width; ++w)
+        plan[w].clear();
+    for (uint32_t u : order) {
+        unsigned best = 0;
+        for (unsigned w = 1; w < width; ++w)
+            if (load[w] < load[best])
+                best = w;
+        plan[best].push_back(u);
+        // Before the first measurement every EWMA is 0; count each unit
+        // as 1 so the opening round still spreads evenly.
+        load[best] += ewmaNs[u] > 0.0 ? ewmaNs[u] : 1.0;
+    }
+    // Push each worker's list costliest-first: the owner pops its
+    // cheapest units first (LIFO bottom) while thieves steal the
+    // costliest remaining one (FIFO top), so one steal moves the most
+    // imbalance.
+    for (unsigned w = 0; w < width; ++w)
+        for (uint32_t u : plan[w])
+            deques[w].push(u);
+}
+
+void
+RoundScheduler::runWorker(unsigned worker, unsigned width, UnitFn fn,
+                          void *ctx)
+{
+    WorkerScratch &ws = scratch[worker];
+    ws.busyNs = 0;
+    ws.unitsRun = 0;
+    ws.steals = 0;
+
+    uint32_t u;
+    while (deques[worker].take(u)) {
+        uint64_t t0 = nowNs();
+        fn(ctx, u);
+        uint64_t ns = nowNs() - t0;
+        lastNs[u] = ns;
+        ws.busyNs += ns;
+        ++ws.unitsRun;
+    }
+
+    if (policy_ != SchedPolicy::Steal || width <= 1)
+        return;
+    // Own deque is dry and nobody pushes mid-dispatch, so scan victims
+    // until a full pass finds nothing stealable. A concurrent owner may
+    // still be *running* its last unit — that is not stealable work, so
+    // giving up then is correct, and the barrier still waits for it.
+    bool found = true;
+    while (found) {
+        found = false;
+        for (unsigned v = 1; v < width; ++v) {
+            unsigned victim = (worker + v) % width;
+            while (deques[victim].steal(u)) {
+                found = true;
+                ++ws.steals;
+                uint64_t t0 = nowNs();
+                fn(ctx, u);
+                uint64_t ns = nowNs() - t0;
+                lastNs[u] = ns;
+                ws.busyNs += ns;
+                ++ws.unitsRun;
+            }
+        }
+    }
+}
+
+void
+RoundScheduler::dispatch(ThreadPool &pool, UnitFn fn, void *ctx)
+{
+    if (units_ == 0)
+        return;
+    unsigned width = pool.width();
+    FS_ASSERT(deques.size() == width && scratch.size() == width,
+              "RoundScheduler not configured for this pool");
+    partition(width);
+
+    if (width == 1) {
+        runWorker(0, 1, fn, ctx);
+    } else {
+        struct Ctx
+        {
+            RoundScheduler *self;
+            unsigned width;
+            UnitFn fn;
+            void *ctx;
+        } dc{this, width, fn, ctx};
+        pool.parallelRun([&dc](unsigned w) {
+            dc.self->runWorker(w, dc.width, dc.fn, dc.ctx);
+        });
+    }
+
+    // Post-barrier, driving thread: fold the measurements into the
+    // shared telemetry and the cost model.
+    if (tel) {
+        for (unsigned w = 0; w < width; ++w) {
+            tel->workers[w].busyNs += scratch[w].busyNs;
+            tel->workers[w].unitsRun += scratch[w].unitsRun;
+            tel->workers[w].steals += scratch[w].steals;
+            tel->roundBusy[w] += scratch[w].busyNs;
+        }
+    }
+    for (uint32_t u = 0; u < units_; ++u) {
+        double m = static_cast<double>(lastNs[u]);
+        ewmaNs[u] = ewmaNs[u] == 0.0
+                        ? m
+                        : kEwmaAlpha * m + (1.0 - kEwmaAlpha) * ewmaNs[u];
+    }
+}
+
+} // namespace firesim

@@ -13,6 +13,12 @@ Switch::Switch(SwitchConfig config)
     assemblers.resize(cfg.ports);
     outputs.resize(cfg.ports);
     portDown_.assign(cfg.ports, false);
+    // Egress slicing: ceil(ports / slicePorts) groups, but only when
+    // that actually yields more than one (a 4-port switch at the
+    // default group size stays on the plain advance() path).
+    if (cfg.slicePorts > 0 && cfg.ports > cfg.slicePorts)
+        sliceCount_ = (cfg.ports + cfg.slicePorts - 1) / cfg.slicePorts;
+    sliceScratch.resize(sliceCount_);
 }
 
 void
@@ -77,6 +83,50 @@ Switch::advance(Cycles window_start, Cycles window,
     ingress(window_start, in);
     switchingStep();
     egress(window_start, window, out);
+}
+
+void
+Switch::advanceBegin(Cycles window_start, Cycles window,
+                     const std::vector<const TokenBatch *> &in,
+                     std::vector<TokenBatch> &out)
+{
+    (void)window;
+    FS_ASSERT(in.size() == cfg.ports && out.size() == cfg.ports,
+              "switch %s handed %zu/%zu batches for %u ports",
+              cfg.name.c_str(), in.size(), out.size(), cfg.ports);
+    // The serial prologue owns the shared state (assemblers, the
+    // pending priority queue, output queues, stats) exclusively — it is
+    // a single advance unit, so updating stats_ directly is safe here.
+    ingress(window_start, in);
+    switchingStep();
+}
+
+void
+Switch::advanceSlice(uint32_t slice, Cycles window_start, Cycles window,
+                     const std::vector<const TokenBatch *> &in,
+                     std::vector<TokenBatch> &out)
+{
+    (void)in;
+    FS_ASSERT(slice < sliceCount_, "switch %s slice %u of %u",
+              cfg.name.c_str(), slice, sliceCount_);
+    Cycles window_end = window_start + window;
+    uint32_t lo = slice * cfg.slicePorts;
+    uint32_t hi = std::min(cfg.ports, lo + cfg.slicePorts);
+    EgressScratch &scratch = sliceScratch[slice];
+    scratch.clear();
+    for (uint32_t p = lo; p < hi; ++p)
+        egressPort(p, window_start, window_end, out[p], scratch);
+}
+
+void
+Switch::advanceMerge(Cycles window_start, Cycles window,
+                     std::vector<TokenBatch> &out)
+{
+    (void)window_start;
+    (void)window;
+    (void)out;
+    for (const EgressScratch &scratch : sliceScratch)
+        foldScratch(scratch);
 }
 
 void
@@ -168,70 +218,91 @@ Switch::enqueueOutput(uint32_t port, const EthFrame &frame, Cycles release,
 void
 Switch::egress(Cycles window_start, Cycles window, std::vector<TokenBatch> &out)
 {
+    // Monolithic path: same per-port routine as the sliced path, with
+    // one scratch folded immediately — identical arithmetic, identical
+    // results.
     Cycles window_end = window_start + window;
-    for (uint32_t p = 0; p < cfg.ports; ++p) {
-        OutputPort &port = outputs[p];
-        if (portDown_[p]) {
-            // Packets routed here after the port went down are lost.
-            stats_.faultPacketsDroppedOut += port.queue.size();
-            port.queue.clear();
-            continue;
-        }
-        if (port.cursor < window_start)
-            port.cursor = window_start;
+    EgressScratch &scratch = sliceScratch[0];
+    scratch.clear();
+    for (uint32_t p = 0; p < cfg.ports; ++p)
+        egressPort(p, window_start, window_end, out[p], scratch);
+    foldScratch(scratch);
+}
 
-        while (port.cursor < window_end) {
-            if (!port.active) {
-                if (port.queue.empty())
-                    break;
-                QueuedPacket &head = port.queue.front();
-                if (head.release >= window_end) {
-                    // Cannot release anything more this window.
-                    break;
-                }
-                Cycles start = std::max(port.cursor, head.release);
-                // Finite buffering: a packet that has waited longer than
-                // the drop bound past its release time is discarded.
-                if (start > head.release + cfg.dropBound) {
-                    ++stats_.packetsDropped;
-                    port.queue.pop_front();
-                    continue;
-                }
-                port.cursor = start;
-                port.active = std::move(head);
-                port.activePos = 0;
-                port.queue.pop_front();
-            }
+void
+Switch::egressPort(uint32_t p, Cycles window_start, Cycles window_end,
+                   TokenBatch &out, EgressScratch &scratch)
+{
+    OutputPort &port = outputs[p];
+    if (portDown_[p]) {
+        // Packets routed here after the port went down are lost.
+        scratch.faultPacketsDroppedOut += port.queue.size();
+        port.queue.clear();
+        return;
+    }
+    if (port.cursor < window_start)
+        port.cursor = window_start;
 
-            // Emit one token per cycle until the window closes or the
-            // packet completes.
-            const std::vector<uint8_t> &bytes = port.active->frame.bytes;
-            while (port.cursor < window_end && port.activePos < bytes.size()) {
-                Flit flit;
-                size_t take =
-                    std::min<size_t>(kFlitBytes, bytes.size() - port.activePos);
-                std::memcpy(flit.data.data(), bytes.data() + port.activePos,
-                            take);
-                flit.size = static_cast<uint8_t>(take);
-                port.activePos += take;
-                flit.last = port.activePos >= bytes.size();
-                flit.offset = static_cast<uint32_t>(port.cursor - window_start);
-                out[p].push(flit);
-                ++port.cursor;
-            }
-
-            if (port.activePos >= bytes.size()) {
-                ++stats_.packetsOut;
-                stats_.bytesOut += bytes.size();
-                bytesOutSinceQuery += bytes.size();
-                port.active.reset();
-                port.activePos = 0;
-            } else {
-                // Window full; resume this packet next round.
+    while (port.cursor < window_end) {
+        if (!port.active) {
+            if (port.queue.empty())
+                break;
+            QueuedPacket &head = port.queue.front();
+            if (head.release >= window_end) {
+                // Cannot release anything more this window.
                 break;
             }
+            Cycles start = std::max(port.cursor, head.release);
+            // Finite buffering: a packet that has waited longer than
+            // the drop bound past its release time is discarded.
+            if (start > head.release + cfg.dropBound) {
+                ++scratch.packetsDropped;
+                port.queue.pop_front();
+                continue;
+            }
+            port.cursor = start;
+            port.active = std::move(head);
+            port.activePos = 0;
+            port.queue.pop_front();
+        }
+
+        // Emit one token per cycle until the window closes or the
+        // packet completes.
+        const std::vector<uint8_t> &bytes = port.active->frame.bytes;
+        while (port.cursor < window_end && port.activePos < bytes.size()) {
+            Flit flit;
+            size_t take =
+                std::min<size_t>(kFlitBytes, bytes.size() - port.activePos);
+            std::memcpy(flit.data.data(), bytes.data() + port.activePos,
+                        take);
+            flit.size = static_cast<uint8_t>(take);
+            port.activePos += take;
+            flit.last = port.activePos >= bytes.size();
+            flit.offset = static_cast<uint32_t>(port.cursor - window_start);
+            out.push(flit);
+            ++port.cursor;
+        }
+
+        if (port.activePos >= bytes.size()) {
+            ++scratch.packetsOut;
+            scratch.bytesOut += bytes.size();
+            port.active.reset();
+            port.activePos = 0;
+        } else {
+            // Window full; resume this packet next round.
+            break;
         }
     }
+}
+
+void
+Switch::foldScratch(const EgressScratch &scratch)
+{
+    stats_.packetsOut += scratch.packetsOut;
+    stats_.bytesOut += scratch.bytesOut;
+    stats_.packetsDropped += scratch.packetsDropped;
+    stats_.faultPacketsDroppedOut += scratch.faultPacketsDroppedOut;
+    bytesOutSinceQuery += scratch.bytesOut;
 }
 
 uint64_t

@@ -31,6 +31,8 @@
 namespace firesim
 {
 
+class ThreadPool;
+
 /** Coarse committed-instruction classification (TracerV groups). */
 enum class OpClass : uint8_t
 {
@@ -105,12 +107,25 @@ class InstructionTrace
      */
     std::string encodeCompressed() const;
 
+    /**
+     * Parallel encode on @p pool: the ring is chunked into one segment
+     * per pool thread, each encoded concurrently, and the results are
+     * concatenated in order. A record's encoding depends only on the
+     * previous record and itself, and each chunk reads its predecessor
+     * raw from the ring, so the output is byte-identical to the serial
+     * path (asserted in tests/telemetry). Null pool, a width-1 pool, or
+     * a small trace falls back to the serial encoder.
+     */
+    std::string encodeCompressed(ThreadPool *pool) const;
+
     /** Inverse of encodeCompressed(); panics on a corrupt stream. */
     static std::vector<TraceRecord> decodeCompressed(
         const std::string &bytes);
 
-    /** Write encodeCompressed() to @p path; false on I/O failure. */
-    bool writeCompressed(const std::string &path) const;
+    /** Write encodeCompressed() to @p path; false on I/O failure.
+     *  A non-null @p pool selects the parallel encoder. */
+    bool writeCompressed(const std::string &path,
+                         ThreadPool *pool = nullptr) const;
 
     /** Read a file written by writeCompressed(). */
     static std::vector<TraceRecord> readCompressed(
