@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -104,14 +105,18 @@ switchSlicePorts()
 inline unsigned
 parseUnsignedKnob(const char *what, const char *text)
 {
-    if (text && *text == '+')
-        ++text; // strtoul accepts "+3"; keep it, reject bare signs below
+    const char *p = text;
+    if (p && *p == '+')
+        ++p; // strtoul accepts "+3"; keep it, reject bare signs below
+    // strtoul also skips leading whitespace, so " 8" used to parse as
+    // 8 — an easy way for a stray quote in a launcher script to hide a
+    // malformed knob. Demand the payload start with a digit.
+    bool digits = p && *p >= '0' && *p <= '9';
     char *end = nullptr;
     errno = 0;
-    unsigned long v =
-        (text && *text && *text != '-') ? std::strtoul(text, &end, 10) : 0;
-    if (!text || !*text || *text == '-' || end == text || *end != '\0' ||
-        errno == ERANGE || v > UINT_MAX) {
+    unsigned long v = digits ? std::strtoul(p, &end, 10) : 0;
+    if (!digits || end == p || *end != '\0' || errno == ERANGE ||
+        v > UINT_MAX) {
         std::fprintf(stderr,
                      "error: %s expects a non-negative integer, got "
                      "'%s'\n",
@@ -119,6 +124,78 @@ parseUnsignedKnob(const char *what, const char *text)
         std::exit(2);
     }
     return static_cast<unsigned>(v);
+}
+
+/** Shard count for distributed runs (ClusterConfig::shard.shards),
+ *  set by parseCommonFlags(); defaults to 1 (single process). */
+inline unsigned &
+shardsRef()
+{
+    static unsigned shards = 1;
+    return shards;
+}
+
+inline unsigned
+shards()
+{
+    return shardsRef();
+}
+
+/** This process's shard rank (ClusterConfig::shard.rank). */
+inline unsigned &
+shardRankRef()
+{
+    static unsigned rank = 0;
+    return rank;
+}
+
+inline unsigned
+shardRank()
+{
+    return shardRankRef();
+}
+
+/** Rendezvous host for cross-shard TCP (ClusterConfig::shard). */
+inline std::string &
+shardConnectHostRef()
+{
+    static std::string host = "127.0.0.1";
+    return host;
+}
+
+/** Rendezvous base port; rank r listens on basePort + r. */
+inline unsigned &
+shardBasePortRef()
+{
+    static unsigned port = 0;
+    return port;
+}
+
+/**
+ * Parse HOST:PORT for --shard-connect. The host may not be empty or
+ * contain a second colon (no IPv6 literals — use a hostname), and the
+ * port goes through parseUnsignedKnob and must fit in 16 bits.
+ */
+inline void
+parseShardConnectKnob(const char *what, const char *text)
+{
+    std::string s = text ? text : "";
+    size_t colon = s.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        s.find(':', colon + 1) != std::string::npos) {
+        std::fprintf(stderr, "error: %s expects HOST:PORT, got '%s'\n",
+                     what, s.c_str());
+        std::exit(2);
+    }
+    unsigned port = parseUnsignedKnob(what, s.c_str() + colon + 1);
+    if (port == 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "error: %s port must be in [1, 65535], got %u\n",
+                     what, port);
+        std::exit(2);
+    }
+    shardConnectHostRef() = s.substr(0, colon);
+    shardBasePortRef() = port;
 }
 
 /** Parse @p text as a scheduler policy name or exit(2). */
@@ -144,6 +221,12 @@ parseSchedKnob(const char *what, const char *text)
  *   --switch-slice-ports=N   egress ports per switch advance slice,
  *                            0 = monolithic switches
  *                            (env FIRESIM_SWITCH_SLICE_PORTS)
+ *   --shards=N               split the cluster across N OS processes
+ *                            (env FIRESIM_SHARDS; default 1)
+ *   --shard-rank=K           this process's shard, 0 <= K < N
+ *                            (env FIRESIM_SHARD_RANK)
+ *   --shard-connect=HOST:PORT  rendezvous address; rank r listens on
+ *                            PORT + r (env FIRESIM_SHARD_CONNECT)
  * Flags win over the environment. Malformed values are an error, not a
  * silent fallback. Unknown arguments are ignored so binaries stay
  * permissive. Results are bit-identical for every combination — only
@@ -160,10 +243,19 @@ parseCommonFlags(int argc, char **argv)
     if (const char *env = std::getenv("FIRESIM_SWITCH_SLICE_PORTS"))
         switchSlicePortsRef() =
             parseUnsignedKnob("FIRESIM_SWITCH_SLICE_PORTS", env);
+    if (const char *env = std::getenv("FIRESIM_SHARDS"))
+        shardsRef() = parseUnsignedKnob("FIRESIM_SHARDS", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_RANK"))
+        shardRankRef() = parseUnsignedKnob("FIRESIM_SHARD_RANK", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_CONNECT"))
+        parseShardConnectKnob("FIRESIM_SHARD_CONNECT", env);
 
     const std::string hosts_flag = "--parallel-hosts=";
     const std::string sched_flag = "--sched-policy=";
     const std::string slice_flag = "--switch-slice-ports=";
+    const std::string shards_flag = "--shards=";
+    const std::string rank_flag = "--shard-rank=";
+    const std::string connect_flag = "--shard-connect=";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind(hosts_flag, 0) == 0)
@@ -175,14 +267,46 @@ parseCommonFlags(int argc, char **argv)
         else if (arg.rfind(slice_flag, 0) == 0)
             switchSlicePortsRef() = parseUnsignedKnob(
                 "--switch-slice-ports", arg.c_str() + slice_flag.size());
+        else if (arg.rfind(shards_flag, 0) == 0)
+            shardsRef() = parseUnsignedKnob(
+                "--shards", arg.c_str() + shards_flag.size());
+        else if (arg.rfind(rank_flag, 0) == 0)
+            shardRankRef() = parseUnsignedKnob(
+                "--shard-rank", arg.c_str() + rank_flag.size());
+        else if (arg.rfind(connect_flag, 0) == 0)
+            parseShardConnectKnob(
+                "--shard-connect", arg.c_str() + connect_flag.size());
     }
     if (parallelHostsRef() == 0)
         parallelHostsRef() = 1;
+    if (shardsRef() == 0) {
+        std::fprintf(stderr, "error: --shards must be at least 1\n");
+        std::exit(2);
+    }
+    if (shardRankRef() >= shardsRef()) {
+        std::fprintf(stderr,
+                     "error: --shard-rank=%u out of range for "
+                     "--shards=%u (need 0 <= rank < shards)\n",
+                     shardRank(), shards());
+        std::exit(2);
+    }
+    if (shardsRef() > 1 && shardBasePortRef() == 0) {
+        std::fprintf(stderr,
+                     "error: --shards=%u needs --shard-connect="
+                     "HOST:PORT for the rendezvous\n",
+                     shards());
+        std::exit(2);
+    }
     if (parallelHostsRef() > 1)
         std::printf("[bench] parallel hosts: %u fabric worker threads "
                     "(sched policy: %s, switch slice ports: %u)\n",
                     parallelHostsRef(),
                     schedPolicyName(schedPolicy()), switchSlicePorts());
+    if (shards() > 1)
+        std::printf("[bench] distributed: shard %u of %u, rendezvous "
+                    "%s:%u\n",
+                    shardRank(), shards(),
+                    shardConnectHostRef().c_str(), shardBasePortRef());
 }
 
 /**
@@ -197,6 +321,10 @@ applyClusterFlags(ClusterConfigT &cc)
     cc.parallelHosts = parallelHosts();
     cc.schedPolicy = schedPolicy();
     cc.switchSlicePorts = switchSlicePorts();
+    cc.shard.shards = shards();
+    cc.shard.rank = shardRank();
+    cc.shard.connectHost = shardConnectHostRef();
+    cc.shard.basePort = static_cast<uint16_t>(shardBasePortRef());
 }
 
 /** Wall-clock stopwatch for simulation-rate measurements. */

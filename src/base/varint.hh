@@ -1,0 +1,103 @@
+/**
+ * @file
+ * LEB128 varint and zigzag primitives, shared by every byte-stream
+ * encoder in the tree: the instruction-trace compressor
+ * (telemetry/instr_trace) and the distributed token fabric's wire
+ * framing (net/remote/wire) must agree on one definition so their
+ * streams stay mutually debuggable and the encoders cannot drift.
+ *
+ * Encoding: 7 payload bits per byte, LSB group first, high bit set on
+ * every byte except the last. Zigzag maps signed deltas onto small
+ * unsigned values ((v << 1) ^ (v >> 63)) so near-zero deltas of either
+ * sign encode in one byte.
+ */
+
+#ifndef FIRESIM_BASE_VARINT_HH
+#define FIRESIM_BASE_VARINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+/** Append @p v to @p out as a LEB128 varint (1-10 bytes). */
+inline void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/**
+ * Decode one varint from @p in at @p pos, advancing @p pos past it.
+ * Panics on truncation or a >64-bit encoding; use tryGetVarint when
+ * the stream end is a normal condition (incremental socket reads).
+ */
+inline uint64_t
+getVarint(const std::string &in, size_t &pos)
+{
+    uint64_t v = 0;
+    uint32_t shift = 0;
+    while (true) {
+        if (pos >= in.size() || shift > 63)
+            panic("corrupt varint stream at byte %zu", pos);
+        uint8_t byte = static_cast<uint8_t>(in[pos++]);
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+/**
+ * Non-panicking decode for incremental parsers: false when @p in ends
+ * mid-varint (@p pos is left unchanged), true with @p pos advanced and
+ * @p out set otherwise. A malformed >64-bit encoding still panics —
+ * that is corruption, not an incomplete read.
+ */
+inline bool
+tryGetVarint(const std::string &in, size_t &pos, uint64_t &out)
+{
+    uint64_t v = 0;
+    uint32_t shift = 0;
+    size_t p = pos;
+    while (true) {
+        if (p >= in.size())
+            return false;
+        if (shift > 63)
+            panic("corrupt varint stream at byte %zu", p);
+        uint8_t byte = static_cast<uint8_t>(in[p++]);
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            out = v;
+            pos = p;
+            return true;
+        }
+        shift += 7;
+    }
+}
+
+/** Map a signed delta onto the small-unsigned varint domain. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+} // namespace firesim
+
+#endif // FIRESIM_BASE_VARINT_HH

@@ -24,6 +24,7 @@ faultKindName(FaultEvent::Kind kind)
       case FaultEvent::Kind::PayloadDrop: return "payload-drop";
       case FaultEvent::Kind::FlitCorrupt: return "flit-corrupt";
       case FaultEvent::Kind::FlitDelay: return "flit-delay";
+      case FaultEvent::Kind::PeerShardLost: return "peer-shard-lost";
       case FaultEvent::Kind::kCount: break;
     }
     return "unknown";
@@ -219,7 +220,11 @@ HealthMonitor::onRoundEnd(Cycles round_start, uint64_t round)
         occupancyFlagged.assign(fab.channelCount(), false);
     for (size_t c = 0; c < fab.channelCount(); ++c) {
         TokenChannel &chan = fab.channelAt(c);
-        bool off = chan.depth() != chan.expectedDepth();
+        // A remote RX channel is legitimately one batch short here:
+        // its refill arrives in the round barrier, after this hook.
+        size_t expected =
+            chan.expectedDepth() - (fab.channelIsRemoteRx(c) ? 1 : 0);
+        bool off = chan.depth() != expected;
         if (off && !occupancyFlagged[c]) {
             FaultEvent ev;
             ev.kind = FaultEvent::Kind::ChannelOccupancy;
@@ -227,7 +232,7 @@ HealthMonitor::onRoundEnd(Cycles round_start, uint64_t round)
             ev.cycle = round_start;
             ev.channel = chan.label();
             ev.detail = csprintf("%zu batches in flight, expected %zu",
-                                 chan.depth(), chan.expectedDepth());
+                                 chan.depth(), expected);
             record(std::move(ev));
         }
         occupancyFlagged[c] = off;

@@ -55,6 +55,8 @@ struct FaultEvent
         PayloadDrop,
         FlitCorrupt,
         FlitDelay,
+        // Reported by the distributed shard transport (net/remote).
+        PeerShardLost, //!< a peer shard process died or timed out
         kCount, //!< sentinel
     };
 

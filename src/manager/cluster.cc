@@ -5,6 +5,29 @@
 namespace firesim
 {
 
+namespace
+{
+
+/** Per-global-index spec lookup, numbered exactly like ShardPlan
+ *  (and therefore like the single-process builder). */
+struct SpecIndex
+{
+    std::vector<const SwitchSpec *> switches;
+    std::vector<const ServerSpec *> servers;
+
+    void
+    walk(const SwitchSpec &spec)
+    {
+        switches.push_back(&spec);
+        for (const auto &child : spec.childSwitches())
+            walk(*child);
+        for (const ServerSpec &server : spec.childServers())
+            servers.push_back(&server);
+    }
+};
+
+} // namespace
+
 NodeSystem::NodeSystem(BladeConfig blade_cfg, OsConfig os_cfg,
                        NetConfig net_cfg, Ip ip)
     : blade_(std::move(blade_cfg)),
@@ -29,6 +52,12 @@ Cluster::ipFor(size_t i)
 }
 
 Cluster::Cluster(SwitchSpec root, ClusterConfig config)
+    : Cluster(std::move(root), std::move(config),
+              std::vector<std::pair<uint32_t, SocketFd>>())
+{}
+
+Cluster::Cluster(SwitchSpec root, ClusterConfig config,
+                 std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
     : topo(std::move(root)), cfg(config)
 {
     if (topo.downlinkCount() == 0)
@@ -36,6 +65,13 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
 
     if (cfg.functionalWindow)
         fabric_.setFunctionalMode(cfg.functionalWindow);
+
+    if (cfg.shard.shards > 1) {
+        buildSharded(std::move(peer_fds));
+        return;
+    }
+    if (!peer_fds.empty())
+        fatal("peer fds passed to a single-process cluster");
 
     buildSubtree(topo, 0);
 
@@ -80,8 +116,210 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
         node->start();
 }
 
+void
+Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
+{
+    const ShardSpec &ss = cfg.shard;
+    if (ss.rank >= ss.shards)
+        fatal("shard rank %u >= shard count %u", ss.rank, ss.shards);
+
+    ShardPlan plan =
+        ShardPlan::build(topo, ss.shards, cfg.linkLatency,
+                         cfg.switchLatency, cfg.functionalWindow);
+    SpecIndex specs;
+    specs.walk(topo);
+
+    // Instantiate only what this rank owns, under *global* names, MACs
+    // and IPs, so every component is indistinguishable from its
+    // single-process twin (the basis of the byte-identity tests).
+    std::vector<int> switchLocal(plan.nSwitches, -1);
+    std::vector<int> nodeLocal(plan.nServers, -1);
+    for (uint32_t s = 0; s < plan.nSwitches; ++s) {
+        if (plan.switchOwner[s] != ss.rank)
+            continue;
+        SwitchConfig scfg;
+        scfg.name = csprintf("switch%u", s);
+        scfg.ports = plan.switchPorts[s];
+        scfg.minLatency = cfg.switchLatency;
+        scfg.dropBound = cfg.switchDropBound;
+        scfg.slicePorts = cfg.switchSlicePorts;
+        switchLocal[s] = static_cast<int>(switches.size());
+        switches.push_back(std::make_unique<Switch>(scfg));
+        auto &pp = switchPortServers.emplace_back();
+        pp.resize(plan.portServers[s].size());
+        for (size_t p = 0; p < pp.size(); ++p)
+            pp[p].assign(plan.portServers[s][p].begin(),
+                         plan.portServers[s][p].end());
+        fabric_.addEndpoint(switches.back().get());
+    }
+    for (uint32_t j = 0; j < plan.nServers; ++j) {
+        if (plan.serverOwner[j] != ss.rank)
+            continue;
+        const ServerSpec &server = *specs.servers[j];
+        BladeConfig bc;
+        bc.name = csprintf("node%u", j);
+        bc.freqGhz = cfg.freqGhz;
+        bc.cores = server.cores;
+        bc.memBytes = server.memBytes;
+        bc.nic = cfg.nic;
+        bc.mac = macFor(j);
+        OsConfig oc = cfg.os;
+        oc.cores = server.cores;
+        oc.seed = cfg.seed + j;
+        nodeLocal[j] = static_cast<int>(nodes.size());
+        nodes.push_back(
+            std::make_unique<NodeSystem>(bc, oc, cfg.net, ipFor(j)));
+        fabric_.addEndpoint(&nodes.back()->blade());
+    }
+    if (switches.empty() && nodes.empty())
+        fatal("shard %u owns no components", ss.rank);
+
+    // MAC tables know the *whole* cluster: the plan's port->servers map
+    // is global, so a sharded switch forwards exactly like its
+    // single-process twin.
+    for (uint32_t s = 0; s < plan.nSwitches; ++s) {
+        if (switchLocal[s] < 0)
+            continue;
+        Switch &sw = *switches[switchLocal[s]];
+        uint32_t downlinks =
+            static_cast<uint32_t>(plan.portServers[s].size());
+        bool has_uplink = (s != 0);
+        std::vector<int> port_of(plan.nServers, -1);
+        for (uint32_t p = 0; p < downlinks; ++p)
+            for (uint32_t server : plan.portServers[s][p])
+                port_of[server] = static_cast<int>(p);
+        for (uint32_t j = 0; j < plan.nServers; ++j) {
+            if (port_of[j] >= 0)
+                sw.addMacEntry(macFor(j),
+                               static_cast<uint32_t>(port_of[j]));
+            else if (has_uplink)
+                sw.addMacEntry(macFor(j), downlinks);
+            else
+                panic("server %u unreachable from the root switch", j);
+        }
+    }
+
+    // ARP across the whole cluster: remote nodes are as addressable as
+    // local ones.
+    for (uint32_t i = 0; i < plan.nServers; ++i) {
+        if (nodeLocal[i] < 0)
+            continue;
+        for (uint32_t j = 0; j < plan.nServers; ++j)
+            if (i != j)
+                nodes[nodeLocal[i]]->net().addArp(ipFor(j), macFor(j));
+    }
+
+    // Wire the links: both ends local -> an ordinary channel pair; one
+    // end local -> a remote half-link, with the global link ids both
+    // shards derive from the same plan.
+    struct CrossBinding
+    {
+        uint32_t linkId;
+        uint32_t peer;
+        bool rx;
+    };
+    std::vector<CrossBinding> cross;
+    for (size_t k = 0; k < plan.links.size(); ++k) {
+        const ShardPlan::Link &l = plan.links[k];
+        uint32_t parent_owner = plan.switchOwner[l.parentSwitch];
+        uint32_t child_owner = plan.ownerOfLink(l, true);
+        bool own_parent = parent_owner == ss.rank;
+        bool own_child = child_owner == ss.rank;
+        if (!own_parent && !own_child)
+            continue;
+        TokenEndpoint *parent_ep =
+            own_parent ? switches[switchLocal[l.parentSwitch]].get()
+                       : nullptr;
+        TokenEndpoint *child_ep = nullptr;
+        if (own_child) {
+            child_ep = l.childIsSwitch
+                           ? static_cast<TokenEndpoint *>(
+                                 switches[switchLocal[l.child]].get())
+                           : &nodes[nodeLocal[l.child]]->blade();
+        }
+        if (own_parent && own_child) {
+            fabric_.connect(parent_ep, l.parentPort, child_ep,
+                            l.childPort, cfg.linkLatency);
+            continue;
+        }
+        if (own_parent) {
+            std::string child_label =
+                l.childIsSwitch ? csprintf("switch%u", l.child)
+                                : csprintf("node%u", l.child);
+            fabric_.connectRemote(parent_ep, l.parentPort,
+                                  cfg.linkLatency, ShardPlan::upLinkId(k),
+                                  ShardPlan::downLinkId(k), child_label);
+            cross.push_back({ShardPlan::upLinkId(k), child_owner, true});
+            cross.push_back(
+                {ShardPlan::downLinkId(k), child_owner, false});
+        } else {
+            fabric_.connectRemote(child_ep, l.childPort, cfg.linkLatency,
+                                  ShardPlan::downLinkId(k),
+                                  ShardPlan::upLinkId(k),
+                                  csprintf("switch%u", l.parentSwitch));
+            cross.push_back(
+                {ShardPlan::downLinkId(k), parent_owner, true});
+            cross.push_back({ShardPlan::upLinkId(k), parent_owner, false});
+        }
+    }
+    if (cross.empty())
+        warn("shard %u has no cross-shard links; peers barrier every "
+             "round but exchange no tokens",
+             ss.rank);
+
+    fabric_.finalize();
+    fabric_.setParallelHosts(cfg.parallelHosts);
+    fabric_.setSchedPolicy(cfg.schedPolicy);
+
+    ShardTransport::Options topts;
+    topts.rank = ss.rank;
+    topts.shards = ss.shards;
+    topts.host = ss.connectHost;
+    topts.basePort = ss.basePort;
+    topts.recvTimeoutMs = ss.recvTimeoutMs;
+    topts.failFast = ss.failFast;
+    transport_ =
+        peer_fds.empty()
+            ? ShardTransport::rendezvousTcp(topts, plan.topoHash)
+            : ShardTransport::fromFds(topts, std::move(peer_fds),
+                                      plan.topoHash);
+    for (const CrossBinding &b : cross) {
+        if (b.rx) {
+            transport_->bindRxChannel(b.linkId, b.peer,
+                                      fabric_.remoteRxChannel(b.linkId));
+        } else {
+            transport_->bindTxLink(b.linkId, b.peer);
+        }
+    }
+    fabric_.setRemoteHook(transport_.get());
+
+    // Eagerly attach the health monitor: observers cannot attach
+    // mid-run, and peer-shard loss is a mid-run event.
+    health();
+    transport_->onPeerLoss(
+        [this](uint32_t peer, uint64_t round, Cycles cycle) {
+            FaultEvent ev;
+            ev.kind = FaultEvent::Kind::PeerShardLost;
+            ev.round = round;
+            ev.cycle = cycle;
+            ev.detail = csprintf(
+                "peer shard %u lost; its cross-shard links degraded to "
+                "empty tokens",
+                peer);
+            monitor_->record(std::move(ev));
+        });
+
+    if (cfg.telemetry.enabled)
+        setupTelemetry();
+
+    for (auto &node : nodes)
+        node->start();
+}
+
 Cluster::~Cluster()
 {
+    if (transport_)
+        transport_->shutdown();
     if (telemetry_)
         telemetry_->dumpAtExit(fabric_.now());
 }
@@ -135,6 +373,43 @@ Cluster::setupTelemetry()
         return static_cast<double>(fab->batchesMoved());
     });
 
+    if (transport_) {
+        // Per-peer transport accounting. Byte and batch counts are a
+        // pure function of the token streams, so they stay
+        // byte-identical run to run; only stallNs is wall-clock and
+        // rides the schedStats gate below.
+        const ShardTransport *tr = transport_.get();
+        reg.registerProbe("cluster.shard.livePeers", [tr] {
+            return static_cast<double>(tr->livePeers());
+        });
+        for (size_t i = 0; i < tr->peerRanks().size(); ++i) {
+            std::string pp =
+                csprintf("cluster.shard.peer%u", tr->peerRanks()[i]);
+            reg.registerProbe(pp + ".bytesTx", [tr, i] {
+                return static_cast<double>(tr->peerStatsAt(i).bytesTx);
+            });
+            reg.registerProbe(pp + ".bytesRx", [tr, i] {
+                return static_cast<double>(tr->peerStatsAt(i).bytesRx);
+            });
+            reg.registerProbe(pp + ".batchesTx", [tr, i] {
+                return static_cast<double>(tr->peerStatsAt(i).batchesTx);
+            });
+            reg.registerProbe(pp + ".batchesRx", [tr, i] {
+                return static_cast<double>(tr->peerStatsAt(i).batchesRx);
+            });
+            reg.registerProbe(pp + ".roundsBarriered", [tr, i] {
+                return static_cast<double>(
+                    tr->peerStatsAt(i).roundsBarriered);
+            });
+            if (cfg.telemetry.schedStats) {
+                reg.registerProbe(pp + ".stallNs", [tr, i] {
+                    return static_cast<double>(
+                        tr->peerStatsAt(i).stallNs);
+                });
+            }
+        }
+    }
+
     if (cfg.telemetry.schedStats) {
         // Wall-clock scheduler counters — gated separately because they
         // make stats.json vary run to run (see TelemetryConfig). The
@@ -168,6 +443,18 @@ Cluster::setupTelemetry()
     }
 
     telemetry_->attach(fabric_);
+
+    if (transport_ && cfg.telemetry.hostProfile) {
+        // Bridge the transport's flush/barrier phases into the Chrome
+        // trace as spans on the driving thread (tid 0).
+        TraceEventSink *sink = &telemetry_->traceSink();
+        transport_->setSpanHook(
+            [sink](const char *name, uint64_t dur_ns) {
+                double dur_us = static_cast<double>(dur_ns) / 1e3;
+                sink->complete(sink->intern(name), "shard",
+                               sink->nowUs() - dur_us, dur_us);
+            });
+    }
 
     if (HostProfiler *prof = telemetry_->profiler()) {
         for (size_t i = 0; i < fabric_.endpointCount(); ++i) {

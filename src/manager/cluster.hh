@@ -27,8 +27,10 @@
 #include "fault/fault_plan.hh"
 #include "fault/health_monitor.hh"
 #include "fault/injector.hh"
+#include "manager/shard.hh"
 #include "manager/topology.hh"
 #include "net/fabric.hh"
+#include "net/remote/shard_transport.hh"
 #include "node/server_blade.hh"
 #include "os/netstack.hh"
 #include "os/simos.hh"
@@ -120,6 +122,16 @@ struct ClusterConfig
      * policy — results are bit-identical across policies.
      */
     SchedPolicy schedPolicy = SchedPolicy::RoundRobin;
+    /**
+     * Distributed simulation (manager/shard.hh): with shards > 1 this
+     * process builds only its own shard of the topology and carries
+     * cross-shard links over the socket token transport (net/remote).
+     * Every shard must be launched with the same topology and config,
+     * differing only in `shard.rank`. Simulation results — component
+     * stats, AutoCounter samples, instruction traces — are
+     * byte-identical to the single-process run.
+     */
+    ShardSpec shard;
 };
 
 class Cluster
@@ -127,9 +139,19 @@ class Cluster
   public:
     /**
      * Build and deploy the simulation for @p root. The Cluster takes
-     * ownership of the topology tree.
+     * ownership of the topology tree. With config.shard.shards > 1 the
+     * shard peers are reached by TCP rendezvous (ShardSpec::basePort).
      */
     Cluster(SwitchSpec root, ClusterConfig config);
+
+    /**
+     * Sharded build over pre-connected sockets: @p peer_fds carries
+     * one (peer_rank, fd) pair per peer shard, typically AF_UNIX
+     * socketpair halves for same-host shards (and the tests). Requires
+     * config.shard.shards > 1.
+     */
+    Cluster(SwitchSpec root, ClusterConfig config,
+            std::vector<std::pair<uint32_t, SocketFd>> peer_fds);
 
     /** Dumps telemetry into TelemetryConfig::dumpDir when configured. */
     ~Cluster();
@@ -188,6 +210,9 @@ class Cluster
     /** The attached injector, or nullptr when no faults were injected. */
     FaultInjector *injector() { return injector_.get(); }
 
+    /** The shard transport, or nullptr in single-process mode. */
+    ShardTransport *shardTransport() { return transport_.get(); }
+
     /**
      * The telemetry bundle, or nullptr when ClusterConfig::telemetry
      * was not enabled. Every component counter is registered under
@@ -212,6 +237,15 @@ class Cluster
      *  the index of the switch built for @p spec. */
     size_t buildSubtree(const SwitchSpec &spec, uint32_t depth);
 
+    /**
+     * Sharded build (config().shard.shards > 1): instantiate only the
+     * components this rank owns — with *global* names, MACs, and IPs —
+     * wire cross-shard links through the transport, and eagerly attach
+     * the health monitor so peer loss mid-run can be recorded.
+     */
+    void
+    buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds);
+
     /** Build the telemetry bundle, register every component's stats,
      *  and attach the configured fabric observers. */
     void setupTelemetry();
@@ -221,6 +255,7 @@ class Cluster
     TokenFabric fabric_;
     std::unique_ptr<HealthMonitor> monitor_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<ShardTransport> transport_;
     std::vector<std::unique_ptr<NodeSystem>> nodes;
     std::vector<std::unique_ptr<Switch>> switches;
     // Parallel bookkeeping per built switch: its spec, and the server

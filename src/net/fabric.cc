@@ -162,6 +162,7 @@ TokenFabric::addEndpoint(TokenEndpoint *endpoint)
     state.endpoint = endpoint;
     state.in.assign(endpoint->numPorts(), nullptr);
     state.out.assign(endpoint->numPorts(), nullptr);
+    state.remoteOut.assign(endpoint->numPorts(), -1);
     endpoints.push_back(std::move(state));
 }
 
@@ -195,10 +196,63 @@ TokenFabric::connect(TokenEndpoint *a, uint32_t port_a, TokenEndpoint *b,
             fatal("port already connected (%s:%u or %s:%u)",
                   a->name().c_str(), port_a, b->name().c_str(), port_b);
     }
+    for (const auto &rl : pendingRemote) {
+        if ((rl.local == a && rl.port == port_a) ||
+            (rl.local == b && rl.port == port_b))
+            fatal("port already remote-connected (%s:%u or %s:%u)",
+                  a->name().c_str(), port_a, b->name().c_str(), port_b);
+    }
 
     // Channels are constructed at finalize() time, once the fabric
     // quantum (min latency) is known.
     pendingLinks.push_back(Link{a, port_a, b, port_b, latency});
+}
+
+void
+TokenFabric::connectRemote(TokenEndpoint *local, uint32_t port,
+                           Cycles latency, uint32_t rx_link_id,
+                           uint32_t tx_link_id,
+                           const std::string &peer_label)
+{
+    FS_ASSERT(!finalized, "cannot connectRemote after finalize()");
+    FS_ASSERT(rx_link_id != tx_link_id,
+              "remote link directions need distinct ids (got %u twice)",
+              rx_link_id);
+    EndpointState &state = stateFor(local);
+    FS_ASSERT(port < state.in.size(), "port %u out of range on %s", port,
+              local->name().c_str());
+    for (const auto &link : pendingLinks) {
+        if ((link.a == local && link.portA == port) ||
+            (link.b == local && link.portB == port))
+            fatal("port already connected (%s:%u)", local->name().c_str(),
+                  port);
+    }
+    for (const auto &rl : pendingRemote) {
+        if (rl.local == local && rl.port == port)
+            fatal("port already remote-connected (%s:%u)",
+                  local->name().c_str(), port);
+        if (rl.rxLinkId == rx_link_id || rl.txLinkId == tx_link_id)
+            fatal("remote link id %u used twice",
+                  rl.rxLinkId == rx_link_id ? rx_link_id : tx_link_id);
+    }
+    pendingRemote.push_back(RemoteLink{local, port, latency, rx_link_id,
+                                       tx_link_id, peer_label});
+}
+
+TokenChannel *
+TokenFabric::remoteRxChannel(uint32_t link_id) const
+{
+    for (const auto &rx : remoteRx)
+        if (rx.first == link_id)
+            return rx.second;
+    return nullptr;
+}
+
+void
+TokenFabric::setRemoteHook(RemoteRoundHook *hook)
+{
+    FS_ASSERT(!running, "setRemoteHook() mid-run");
+    remoteHook = hook;
 }
 
 void
@@ -239,7 +293,7 @@ void
 TokenFabric::finalize()
 {
     FS_ASSERT(!finalized, "finalize() called twice");
-    if (pendingLinks.empty())
+    if (pendingLinks.empty() && pendingRemote.empty())
         fatal("token fabric has no links");
 
     if (functionalWindow) {
@@ -247,19 +301,35 @@ TokenFabric::finalize()
         // window so the decoupled endpoints advance in big strides.
         for (auto &link : pendingLinks)
             link.latency = functionalWindow;
+        for (auto &rl : pendingRemote)
+            rl.latency = functionalWindow;
         warn("functional network mode: link timing quantized to %llu "
              "cycles",
              (unsigned long long)functionalWindow);
     }
 
-    quant = pendingLinks.front().latency;
+    // The quantum spans *all* links, remote included: every shard of a
+    // distributed target derives the same quantum from the same
+    // topology, which the round barrier depends on.
+    quant = pendingLinks.empty() ? pendingRemote.front().latency
+                                 : pendingLinks.front().latency;
     for (const auto &link : pendingLinks)
         quant = std::min(quant, link.latency);
+    for (const auto &rl : pendingRemote)
+        quant = std::min(quant, rl.latency);
     for (const auto &link : pendingLinks) {
         if (link.latency % quant != 0) {
             fatal("link latency %llu not a multiple of fabric quantum "
                   "%llu; use commensurate latencies",
                   (unsigned long long)link.latency,
+                  (unsigned long long)quant);
+        }
+    }
+    for (const auto &rl : pendingRemote) {
+        if (rl.latency % quant != 0) {
+            fatal("remote link latency %llu not a multiple of fabric "
+                  "quantum %llu; use commensurate latencies",
+                  (unsigned long long)rl.latency,
                   (unsigned long long)quant);
         }
     }
@@ -283,9 +353,26 @@ TokenFabric::finalize()
         channels.push_back(std::move(ba));
     }
 
+    for (const auto &rl : pendingRemote) {
+        EndpointState &state = stateFor(rl.local);
+        // RX half only: seeded like any channel, so the first
+        // latency/quantum rounds pop empty batches while the peer's
+        // first productions are in flight on the socket.
+        auto rx = std::make_unique<TokenChannel>(rl.latency, quant);
+        rx->setLabel(csprintf("%s->%s:%u [remote link %u]",
+                              rl.peerLabel.c_str(),
+                              rl.local->name().c_str(), rl.port,
+                              rl.rxLinkId));
+        state.in[rl.port] = rx.get();
+        state.remoteOut[rl.port] = static_cast<int64_t>(rl.txLinkId);
+        remoteRx.emplace_back(rl.rxLinkId, rx.get());
+        channels.push_back(std::move(rx));
+    }
+
     for (auto &state : endpoints) {
         for (uint32_t p = 0; p < state.in.size(); ++p) {
-            if (!state.in[p] || !state.out[p])
+            bool tx_ok = state.out[p] || state.remoteOut[p] >= 0;
+            if (!state.in[p] || !tx_ok)
                 fatal("port %u of endpoint %s left unconnected", p,
                       state.endpoint->name().c_str());
         }
@@ -363,6 +450,16 @@ TokenFabric::channelIndexOf(const TokenChannel *channel) const
         if (channels[i].get() == channel)
             return i;
     panic("channel %s not owned by this fabric", channel->label().c_str());
+}
+
+bool
+TokenFabric::channelIsRemoteRx(size_t idx) const
+{
+    const TokenChannel *chan = channels.at(idx).get();
+    for (const auto &rx : remoteRx)
+        if (rx.second == chan)
+            return true;
+    return false;
 }
 
 int
@@ -568,6 +665,26 @@ TokenFabric::commitEndpoint(size_t idx)
         state.endpoint->advanceMerge(curCycle, quant, state.outs);
     for (uint32_t p = 0; p < ports; ++p) {
         TokenChannel *chan = state.out[p];
+        if (!chan) {
+            // Remote TX: no local channel — serialize the batch to the
+            // peer shard instead. Still on the driving thread in step
+            // order, so the byte stream (and therefore the peer's
+            // simulation) is independent of the worker count. The
+            // length invariant is the push()-side check; contiguity is
+            // re-checked by the peer's RX push().
+            FS_ASSERT(state.remoteOut[p] >= 0 && remoteHook,
+                      "unconnected TX port %u on %s", p,
+                      state.endpoint->name().c_str());
+            FS_ASSERT(state.outs[p].len == quant,
+                      "batch len %u != quantum %llu on remote link %lld",
+                      state.outs[p].len, (unsigned long long)quant,
+                      (long long)state.remoteOut[p]);
+            remoteHook->onTxBatch(
+                static_cast<uint32_t>(state.remoteOut[p]), state.outs[p]);
+            pool.recycle(std::move(state.outs[p].flits));
+            ++batchCount;
+            continue;
+        }
         if (!observers.empty()) {
             size_t chan_idx = channelIndexOf(chan);
             for (FabricObserver *obs : observers)
@@ -597,6 +714,8 @@ void
 TokenFabric::run(Cycles cycles)
 {
     FS_ASSERT(finalized, "run() before finalize()");
+    FS_ASSERT(pendingRemote.empty() || remoteHook,
+              "remote links configured but no RemoteRoundHook attached");
     running = true;
     Cycles target = curCycle + cycles;
 
@@ -647,6 +766,14 @@ TokenFabric::run(Cycles cycles)
 
         for (FabricObserver *obs : observers)
             obs->onRoundEnd(curCycle, roundCount);
+
+        // Distributed round barrier: flush this round's remote batches
+        // and block until every peer shard has finished the same round,
+        // pushing their batches into our RX channels for the next
+        // round's prepare phase. Local-only fabrics skip this entirely.
+        if (remoteHook)
+            remoteHook->onRoundComplete(roundCount, curCycle);
+
         curCycle += quant;
         ++roundCount;
     }

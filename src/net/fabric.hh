@@ -398,10 +398,38 @@ class FabricObserver
 };
 
 /**
+ * Transport hook for links whose far end lives in another OS process
+ * (net/remote). The fabric calls onTxBatch once per remote output port
+ * per round (driving thread, commit phase, step order) with the batch
+ * and its *production* start cycle, and onRoundComplete after every
+ * round's commits and onRoundEnd observers. onRoundComplete is the
+ * distributed round barrier: it must flush the round's outbound
+ * batches, wait for every peer's matching round, and push the received
+ * batches into their RX channels (TokenFabric::remoteRxChannel) before
+ * returning — the next round's prepare phase pops them.
+ */
+class RemoteRoundHook
+{
+  public:
+    virtual ~RemoteRoundHook() = default;
+
+    /** One batch produced for remote link @p link_id this round. The
+     *  batch is borrowed: copy or serialize before returning. */
+    virtual void onTxBatch(uint32_t link_id, const TokenBatch &batch) = 0;
+
+    /** Round @p round (starting at cycle @p round_start) committed
+     *  locally; barrier with the peer shards. */
+    virtual void onRoundComplete(uint64_t round, Cycles round_start) = 0;
+};
+
+/**
  * Owns the endpoints' wiring and drives the decoupled simulation in
  * rounds. Mirrors FireSim's distributed runner, with in-process queues
- * standing in for PCIe/shared-memory/TCP transport (the modeled host
- * costs of those transports live in src/host).
+ * standing in for PCIe/shared-memory transport (the modeled host
+ * costs of those transports live in src/host). Links to endpoints in
+ * *other processes* are carried by a socket transport instead
+ * (connectRemote + net/remote): same latency-sized batches, same
+ * round discipline, byte-identical results.
  */
 class TokenFabric
 {
@@ -415,6 +443,43 @@ class TokenFabric
      */
     void connect(TokenEndpoint *a, uint32_t port_a, TokenEndpoint *b,
                  uint32_t port_b, Cycles latency);
+
+    /**
+     * Connect (local, port) to an endpoint in *another process*. Only
+     * the receive direction gets a TokenChannel here (seeded with
+     * latency cycles of empty tokens, exactly like a local link); the
+     * transmit direction has no channel — each round's produced batch
+     * is handed to the RemoteRoundHook (setRemoteHook) instead, which
+     * carries it to the peer shard's matching RX channel. The two
+     * directions carry distinct global, topology-derived ids:
+     * @p rx_link_id labels tokens *arriving* here (it keys
+     * remoteRxChannel() and must match what the peer transmits with),
+     * @p tx_link_id labels tokens this port *produces* (the hook and
+     * the wire frames carry it; it is the peer's rx id for this link).
+     * @p peer_label names the far end in diagnostics. The timing
+     * contract is unchanged: a flit produced at cycle M arrives at
+     * M + latency. Because the fabric quantum never exceeds the link
+     * latency, a batch produced in round R is not popped before round
+     * R+1 — one round of pipeline slack for the socket transport, with
+     * no same-round blocking.
+     */
+    void connectRemote(TokenEndpoint *local, uint32_t port, Cycles latency,
+                       uint32_t rx_link_id, uint32_t tx_link_id,
+                       const std::string &peer_label);
+
+    /**
+     * The RX channel created by connectRemote() for @p link_id, or
+     * null. The transport pushes received batches here (production
+     * start cycle; push() restamps to arrival). Requires finalize().
+     */
+    TokenChannel *remoteRxChannel(uint32_t link_id) const;
+
+    /**
+     * Attach the transport hook serving every connectRemote() link.
+     * Required before run() when remote links exist; must not change
+     * mid-run. The fabric does not take ownership.
+     */
+    void setRemoteHook(RemoteRoundHook *hook);
 
     /**
      * Switch to purely functional network simulation (paper Section
@@ -512,6 +577,14 @@ class TokenFabric
     size_t channelCount() const { return channels.size(); }
     TokenChannel &channelAt(size_t idx) const { return *channels.at(idx); }
     /**
+     * True when channel @p idx is the RX half of a remote link. Such a
+     * channel is one batch short at onRoundEnd time: its refill
+     * arrives in the round barrier (RemoteRoundHook::onRoundComplete),
+     * which runs after the observers. Health monitors use this to
+     * adjust their occupancy expectations.
+     */
+    bool channelIsRemoteRx(size_t idx) const;
+    /**
      * Index of the channel carrying tokens *out of* port @p port of
      * endpoint @p endpoint_idx, or -1. Requires finalize().
      */
@@ -533,6 +606,17 @@ class TokenFabric
         Cycles latency = 0;
     };
 
+    /** A half-link whose far end lives in another shard process. */
+    struct RemoteLink
+    {
+        TokenEndpoint *local = nullptr;
+        uint32_t port = 0;
+        Cycles latency = 0;
+        uint32_t rxLinkId = 0; //!< id of tokens arriving on this port
+        uint32_t txLinkId = 0; //!< id of tokens produced by this port
+        std::string peerLabel;
+    };
+
     struct EndpointState
     {
         TokenEndpoint *endpoint = nullptr;
@@ -548,6 +632,10 @@ class TokenFabric
         std::vector<TokenBatch> popped;
         std::vector<const TokenBatch *> inPtrs;
         std::vector<TokenBatch> outs;
+        // Per-port remote link id when the TX side is carried by the
+        // RemoteRoundHook instead of a TokenChannel; -1 for local
+        // ports (out[p] set) and for the RX-only remote direction.
+        std::vector<int64_t> remoteOut;
         uint32_t slices = 1; //!< cached advanceSliceCount()
         bool down = false;   //!< observers parked it this round
     };
@@ -627,6 +715,11 @@ class TokenFabric
 
     Cycles functionalWindow = 0; //!< 0 = cycle-exact timing
     std::vector<Link> pendingLinks;
+    std::vector<RemoteLink> pendingRemote;
+    // link id -> RX channel (non-owning; the channel lives in
+    // `channels` like any other so observers can watch it).
+    std::vector<std::pair<uint32_t, TokenChannel *>> remoteRx;
+    RemoteRoundHook *remoteHook = nullptr;
     std::vector<EndpointState> endpoints;
     std::vector<std::unique_ptr<TokenChannel>> channels;
     std::vector<FabricObserver *> observers;

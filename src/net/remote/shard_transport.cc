@@ -1,0 +1,456 @@
+#include "net/remote/shard_transport.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t
+elapsedNs(SteadyClock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               SteadyClock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+ShardTransport::ShardTransport(const Options &o, uint64_t topo_hash)
+    : opts(o), topoHash(topo_hash)
+{
+    FS_ASSERT(opts.shards >= 2, "shard transport needs >= 2 shards");
+    FS_ASSERT(opts.rank < opts.shards, "shard rank %u >= shard count %u",
+              opts.rank, opts.shards);
+}
+
+ShardTransport::~ShardTransport()
+{
+    shutdown();
+}
+
+std::unique_ptr<ShardTransport>
+ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
+{
+    std::unique_ptr<ShardTransport> t(
+        new ShardTransport(opts, topo_hash));
+
+    // Every rank listens on basePort + rank, connects to all lower
+    // ranks, and accepts all higher ranks — a full mesh with one TCP
+    // connection per shard pair and no central coordinator.
+    SocketFd listener = tcpListen(
+        "", static_cast<uint16_t>(opts.basePort + opts.rank));
+
+    for (uint32_t q = 0; q < opts.shards; ++q) {
+        if (q == opts.rank)
+            continue;
+        Peer peer;
+        peer.rank = q;
+        t->peers.push_back(std::move(peer));
+        t->ranks.push_back(q);
+    }
+
+    std::string hello;
+    encodeHello(hello, opts.rank, opts.shards, topo_hash);
+
+    // Connect side: lower ranks are already listening (or will be
+    // shortly — bounded-backoff retry absorbs the startup race). The
+    // connector speaks first so the acceptor can identify it.
+    for (uint32_t q = 0; q < opts.rank; ++q) {
+        Peer &peer = t->peers[t->peerIndexOf(q)];
+        peer.sock = tcpConnectRetry(
+            opts.host, static_cast<uint16_t>(opts.basePort + q),
+            opts.connectAttempts, opts.connectBackoffMs,
+            opts.backoffCapMs);
+        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
+            fatal("shard %u: hello send to rank %u failed", opts.rank, q);
+        peer.stats.bytesTx += hello.size();
+        Frame f = t->recvFrameBlocking(peer, opts.recvTimeoutMs);
+        t->validateHello(peer, f);
+    }
+
+    // Accept side: identify each incoming connection by its Hello.
+    uint32_t expected = opts.shards - opts.rank - 1;
+    for (uint32_t i = 0; i < expected; ++i) {
+        SocketFd sock = tcpAccept(listener, opts.recvTimeoutMs);
+        if (!sock.valid())
+            fatal("shard %u: timed out waiting for %u more peer shard(s)",
+                  opts.rank, expected - i);
+        Peer probe;
+        probe.rank = opts.shards; // unidentified
+        probe.sock = std::move(sock);
+        Frame f = t->recvFrameBlocking(probe, opts.recvTimeoutMs);
+        if (f.type != FrameType::Hello)
+            fatal("shard %u: peer spoke before hello", opts.rank);
+        if (f.rank <= opts.rank || f.rank >= opts.shards)
+            fatal("shard %u: unexpected hello from rank %u", opts.rank,
+                  f.rank);
+        Peer &peer = t->peers[t->peerIndexOf(f.rank)];
+        if (peer.sock.valid())
+            fatal("shard %u: rank %u connected twice", opts.rank, f.rank);
+        peer.sock = std::move(probe.sock);
+        // A fast peer may already have sent round-0 traffic behind its
+        // hello; keep those bytes.
+        peer.rxBuf = std::move(probe.rxBuf);
+        peer.stats.bytesRx = probe.stats.bytesRx;
+        t->validateHello(peer, f);
+        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
+            fatal("shard %u: hello send to rank %u failed", opts.rank,
+                  f.rank);
+        peer.stats.bytesTx += hello.size();
+    }
+
+    return t;
+}
+
+std::unique_ptr<ShardTransport>
+ShardTransport::fromFds(const Options &opts,
+                        std::vector<std::pair<uint32_t, SocketFd>> fds,
+                        uint64_t topo_hash)
+{
+    std::unique_ptr<ShardTransport> t(
+        new ShardTransport(opts, topo_hash));
+    FS_ASSERT(fds.size() == opts.shards - 1,
+              "fromFds: %zu fds for %u shards", fds.size(), opts.shards);
+
+    std::sort(fds.begin(), fds.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    std::string hello;
+    encodeHello(hello, opts.rank, opts.shards, topo_hash);
+    for (auto &[peer_rank, sock] : fds) {
+        FS_ASSERT(peer_rank < opts.shards && peer_rank != opts.rank,
+                  "fromFds: bad peer rank %u", peer_rank);
+        FS_ASSERT(t->ranks.empty() || t->ranks.back() != peer_rank,
+                  "fromFds: duplicate peer rank %u", peer_rank);
+        Peer peer;
+        peer.rank = peer_rank;
+        peer.sock = std::move(sock);
+        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
+            fatal("shard %u: hello send to rank %u failed", opts.rank,
+                  peer_rank);
+        peer.stats.bytesTx += hello.size();
+        // The peer's hello is validated lazily by drainFrames(): both
+        // ends of a socketpair can be built in any order on one thread.
+        t->peers.push_back(std::move(peer));
+        t->ranks.push_back(peer_rank);
+    }
+    return t;
+}
+
+size_t
+ShardTransport::peerIndexOf(uint32_t peer_rank) const
+{
+    for (size_t i = 0; i < ranks.size(); ++i)
+        if (ranks[i] == peer_rank)
+            return i;
+    panic("shard %u: rank %u is not a peer", opts.rank, peer_rank);
+}
+
+void
+ShardTransport::validateHello(Peer &peer, const Frame &frame) const
+{
+    if (frame.type != FrameType::Hello)
+        fatal("shard %u: expected hello from rank %u", opts.rank,
+              peer.rank);
+    if (frame.version != kWireVersion)
+        fatal("shard %u: peer rank %u speaks wire version %u, "
+              "expected %u",
+              opts.rank, peer.rank, frame.version, kWireVersion);
+    if (frame.shards != opts.shards)
+        fatal("shard %u: peer rank %u was launched with --shards=%u, "
+              "local --shards=%u",
+              opts.rank, peer.rank, frame.shards, opts.shards);
+    if (peer.rank < opts.shards && frame.rank != peer.rank)
+        fatal("shard %u: peer claims rank %u, expected %u", opts.rank,
+              frame.rank, peer.rank);
+    if (frame.topoHash != topoHash)
+        fatal("shard %u: topology mismatch with rank %u "
+              "(hash %016llx != %016llx) — the shard processes were "
+              "launched with different topologies or configs",
+              opts.rank, frame.rank,
+              (unsigned long long)frame.topoHash,
+              (unsigned long long)topoHash);
+    peer.helloSeen = true;
+}
+
+void
+ShardTransport::bindRxChannel(uint32_t link_id, uint32_t peer_rank,
+                              TokenChannel *chan)
+{
+    FS_ASSERT(chan != nullptr, "null RX channel for link %u", link_id);
+    for (const auto &b : rxBindings)
+        FS_ASSERT(b.linkId != link_id, "link %u RX-bound twice", link_id);
+    RxBinding b;
+    b.linkId = link_id;
+    b.peerIdx = static_cast<uint32_t>(peerIndexOf(peer_rank));
+    b.chan = chan;
+    rxBindings.push_back(b);
+}
+
+void
+ShardTransport::bindTxLink(uint32_t link_id, uint32_t peer_rank)
+{
+    for (const auto &b : txBindings)
+        FS_ASSERT(b.linkId != link_id, "link %u TX-bound twice", link_id);
+    TxBinding b;
+    b.linkId = link_id;
+    b.peerIdx = static_cast<uint32_t>(peerIndexOf(peer_rank));
+    txBindings.push_back(b);
+}
+
+size_t
+ShardTransport::livePeers() const
+{
+    return peers.size() - lostPeers;
+}
+
+void
+ShardTransport::onTxBatch(uint32_t link_id, const TokenBatch &batch)
+{
+    for (const auto &b : txBindings) {
+        if (b.linkId != link_id)
+            continue;
+        Peer &peer = peers[b.peerIdx];
+        if (!peer.stats.alive)
+            return; // degraded: the far shard is gone
+        encodeBatch(peer.txBuf, link_id, batch);
+        ++peer.stats.batchesTx;
+        return;
+    }
+    panic("shard %u: TX batch for unbound link %u", opts.rank, link_id);
+}
+
+void
+ShardTransport::peerLost(Peer &peer, uint64_t round, Cycles cycle,
+                         const char *why)
+{
+    if (!peer.stats.alive)
+        return;
+    if (opts.failFast)
+        fatal("shard %u: lost peer shard %u at round %llu (%s)",
+              opts.rank, peer.rank, (unsigned long long)round, why);
+    warn("shard %u: lost peer shard %u at round %llu (%s); degrading "
+         "its links to empty tokens",
+         opts.rank, peer.rank, (unsigned long long)round, why);
+    peer.stats.alive = false;
+    peer.sock.close();
+    peer.txBuf.clear();
+    ++lostPeers;
+    if (lossFn)
+        lossFn(peer.rank, round, cycle);
+}
+
+void
+ShardTransport::drainFrames(Peer &peer, uint64_t round,
+                            Cycles round_start)
+{
+    size_t pos = 0;
+    Frame f;
+    while (!peer.roundDone && decodeFrame(peer.rxBuf, pos, f)) {
+        switch (f.type) {
+          case FrameType::Hello:
+            validateHello(peer, f);
+            break;
+          case FrameType::Batch: {
+            bool bound = false;
+            for (auto &b : rxBindings) {
+                if (b.linkId != f.linkId)
+                    continue;
+                FS_ASSERT(&peers[b.peerIdx] == &peer,
+                          "link %u batch from rank %u, bound to rank %u",
+                          f.linkId, peer.rank, ranks[b.peerIdx]);
+                FS_ASSERT(f.batch.start == b.nextStart,
+                          "link %u batch start %llu, expected %llu",
+                          f.linkId, (unsigned long long)f.batch.start,
+                          (unsigned long long)b.nextStart);
+                b.nextStart += b.chan->quantum();
+                ++b.pushed;
+                ++peer.stats.batchesRx;
+                // push() restamps production -> arrival (+latency) and
+                // re-checks stream contiguity, exactly as for a local
+                // producer.
+                b.chan->push(std::move(f.batch));
+                bound = true;
+                break;
+            }
+            if (!bound)
+                panic("shard %u: batch for unbound link %u from rank %u",
+                      opts.rank, f.linkId, peer.rank);
+            break;
+          }
+          case FrameType::RoundDone:
+            if (f.round != round || f.cycle != round_start)
+                fatal("shard %u desynchronized from rank %u: peer at "
+                      "round %llu cycle %llu, local round %llu cycle "
+                      "%llu",
+                      opts.rank, peer.rank, (unsigned long long)f.round,
+                      (unsigned long long)f.cycle,
+                      (unsigned long long)round,
+                      (unsigned long long)round_start);
+            peer.roundDone = true;
+            ++peer.stats.roundsBarriered;
+            break;
+          case FrameType::Bye:
+            // Orderly exit mid-run still means this peer will never
+            // produce tokens again: degrade its links.
+            peerLost(peer, round, round_start, "peer shard exited");
+            break;
+        }
+    }
+    // Keep any trailing partial frame (and, after RoundDone, any
+    // already-buffered next-round traffic) for the next drain.
+    peer.rxBuf.erase(0, pos);
+}
+
+Frame
+ShardTransport::recvFrameBlocking(Peer &peer, int timeout_ms)
+{
+    auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+    Frame f;
+    size_t pos = 0;
+    while (!decodeFrame(peer.rxBuf, pos, f)) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+        if (left <= 0 ||
+            pollIn(peer.sock.fd(), static_cast<int>(left)) <= 0)
+            fatal("shard %u: handshake with rank %u timed out",
+                  opts.rank, peer.rank);
+        char tmp[4096];
+        long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
+        if (n <= 0)
+            fatal("shard %u: rank %u vanished during handshake",
+                  opts.rank, peer.rank);
+        peer.rxBuf.append(tmp, static_cast<size_t>(n));
+        peer.stats.bytesRx += static_cast<uint64_t>(n);
+    }
+    peer.rxBuf.erase(0, pos);
+    return f;
+}
+
+void
+ShardTransport::synthesizeMissing(uint64_t round)
+{
+    // A dead peer's links keep the token protocol alive with empty
+    // batches — the same graceful degradation the fabric applies to a
+    // down endpoint, so the surviving shard stays cycle-exact.
+    for (auto &b : rxBindings) {
+        while (b.pushed <= round) {
+            FS_ASSERT(!peers[b.peerIdx].stats.alive,
+                      "live peer rank %u missed round %llu on link %u",
+                      ranks[b.peerIdx], (unsigned long long)round,
+                      b.linkId);
+            TokenBatch empty(
+                b.nextStart, static_cast<uint32_t>(b.chan->quantum()));
+            b.nextStart += b.chan->quantum();
+            ++b.pushed;
+            b.chan->push(std::move(empty));
+        }
+    }
+}
+
+void
+ShardTransport::onRoundComplete(uint64_t round, Cycles round_start)
+{
+    // Phase 1: flush. Batches were appended by onTxBatch during the
+    // commit phase; cap the round with a RoundDone marker and send the
+    // whole round as one write per peer.
+    auto flush_t0 = SteadyClock::now();
+    for (Peer &peer : peers) {
+        if (!peer.stats.alive)
+            continue;
+        encodeRoundDone(peer.txBuf, round, round_start);
+        if (!sendAll(peer.sock.fd(), peer.txBuf.data(),
+                     peer.txBuf.size())) {
+            peerLost(peer, round, round_start, "send failed");
+        } else {
+            peer.stats.bytesTx += peer.txBuf.size();
+        }
+        peer.txBuf.clear();
+    }
+    if (spanFn)
+        spanFn("shard.flush",
+               static_cast<uint64_t>(elapsedNs(flush_t0)));
+
+    // Phase 2: barrier. Wait for every live peer's RoundDone for this
+    // round, consuming its batches on the way. Bounded by
+    // recvTimeoutMs per peer: a vanished peer degrades (or aborts
+    // under failFast) instead of hanging the survivor.
+    auto barrier_t0 = SteadyClock::now();
+    for (Peer &peer : peers)
+        peer.roundDone = false;
+    for (Peer &peer : peers) {
+        if (!peer.stats.alive)
+            continue;
+        auto t0 = SteadyClock::now();
+        auto deadline =
+            t0 + std::chrono::milliseconds(opts.recvTimeoutMs);
+        drainFrames(peer, round, round_start);
+        while (peer.stats.alive && !peer.roundDone) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - SteadyClock::now())
+                    .count();
+            if (left <= 0) {
+                peerLost(peer, round, round_start, "barrier timeout");
+                break;
+            }
+            int r = pollIn(peer.sock.fd(), static_cast<int>(left));
+            if (r < 0) {
+                peerLost(peer, round, round_start, "socket error");
+                break;
+            }
+            if (r == 0) {
+                peerLost(peer, round, round_start, "barrier timeout");
+                break;
+            }
+            char tmp[65536];
+            long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
+            if (n <= 0) {
+                peerLost(peer, round, round_start,
+                         n == 0 ? "peer closed connection"
+                                : "recv error");
+                break;
+            }
+            peer.rxBuf.append(tmp, static_cast<size_t>(n));
+            peer.stats.bytesRx += static_cast<uint64_t>(n);
+            drainFrames(peer, round, round_start);
+        }
+        peer.stats.stallNs += static_cast<uint64_t>(elapsedNs(t0));
+    }
+
+    // Phase 3: fill in for the dead, if any.
+    synthesizeMissing(round);
+
+    if (spanFn)
+        spanFn("shard.barrier",
+               static_cast<uint64_t>(elapsedNs(barrier_t0)));
+}
+
+void
+ShardTransport::shutdown()
+{
+    if (shutdownDone)
+        return;
+    shutdownDone = true;
+    std::string bye;
+    encodeBye(bye);
+    for (Peer &peer : peers) {
+        if (!peer.stats.alive || !peer.sock.valid())
+            continue;
+        // Best effort: the peer may already be gone.
+        sendAll(peer.sock.fd(), bye.data(), bye.size());
+        peer.sock.close();
+    }
+}
+
+} // namespace firesim

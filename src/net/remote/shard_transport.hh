@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The socket token transport that splits one Cluster across N OS
+ * processes (paper Section III-B: simulations "partitioned across
+ * FPGAs and machines", with token channels carried over the network).
+ *
+ * Each process ("shard") owns a subset of the endpoints and runs an
+ * ordinary TokenFabric over them. Links whose two ends live in
+ * different shards become a connectRemote() half-link on each side:
+ * the RX direction is a normal latency-seeded TokenChannel, the TX
+ * direction hands each round's batch to this transport, which frames
+ * it (net/remote/wire) and ships it over TCP — or an AF_UNIX
+ * socketpair for same-host shards.
+ *
+ * Round discipline is exactly the fabric's: after every round's
+ * commits, the fabric calls onRoundComplete(), which flushes the
+ * round's outbound batches plus a RoundDone marker to every peer, then
+ * blocks until every peer's RoundDone for the same round has arrived,
+ * pushing the received batches into their RX channels along the way.
+ * Because the fabric quantum never exceeds any link latency, round R's
+ * remote productions are not consumed before round R+1 — the barrier
+ * overlaps communication with nothing but itself, and no shard can run
+ * ahead. All transport work happens on the fabric's driving thread, so
+ * the simulation stays byte-identical to the single-process run for
+ * any shard count (tested in tests/dist).
+ *
+ * Peer death: a vanished peer (EOF, connection reset, or a barrier
+ * wait exceeding recvTimeoutMs) is converted into graceful
+ * degradation, not a hang — the transport marks the peer dead, fires
+ * the loss callback (the Cluster records a PeerShardLost fault in its
+ * HealthMonitor), and from then on synthesizes empty token batches for
+ * the dead peer's links, exactly the degraded-host model the fabric
+ * already applies to down endpoints. With Options::failFast the loss
+ * is fatal() instead, so CI death tests stay bounded.
+ */
+
+#ifndef FIRESIM_NET_REMOTE_SHARD_TRANSPORT_HH
+#define FIRESIM_NET_REMOTE_SHARD_TRANSPORT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "net/remote/socket.hh"
+#include "net/remote/wire.hh"
+
+namespace firesim
+{
+
+class ShardTransport : public RemoteRoundHook
+{
+  public:
+    struct Options
+    {
+        uint32_t rank = 0;   //!< this process's shard index
+        uint32_t shards = 1; //!< total shard processes
+        /** Rendezvous address: rank r listens on basePort + r. */
+        std::string host = "127.0.0.1";
+        uint16_t basePort = 0;
+        /** Bounded-backoff connect retry (shards race to start up). */
+        int connectAttempts = 100;
+        int connectBackoffMs = 10;
+        int backoffCapMs = 500;
+        /** Max wall-clock to wait on one peer in a round barrier. */
+        int recvTimeoutMs = 10000;
+        /** Abort instead of degrading when a peer is lost. */
+        bool failFast = false;
+    };
+
+    /** Per-peer transport accounting (host-side only, never part of
+     *  the deterministic simulation surface). */
+    struct PeerStats
+    {
+        uint64_t bytesTx = 0;
+        uint64_t bytesRx = 0;
+        uint64_t batchesTx = 0;
+        uint64_t batchesRx = 0;
+        uint64_t roundsBarriered = 0;
+        uint64_t stallNs = 0; //!< wall-clock spent waiting in barriers
+        bool alive = true;
+    };
+
+    /** Fired once, on the driving thread, when a peer shard is lost. */
+    using PeerLossFn =
+        std::function<void(uint32_t peer_rank, uint64_t round,
+                           Cycles cycle)>;
+
+    /**
+     * TCP rendezvous: listen on host:basePort+rank, connect to every
+     * lower rank (bounded-backoff retry), accept every higher rank,
+     * and exchange Hello frames carrying (version, rank, shards,
+     * @p topo_hash). A mismatch — two processes launched with
+     * different topologies — is fatal(). Setup failures are fatal();
+     * this never returns null.
+     */
+    static std::unique_ptr<ShardTransport>
+    rendezvousTcp(const Options &opts, uint64_t topo_hash);
+
+    /**
+     * Pre-connected fast path: @p peers carries (peer_rank, fd) pairs,
+     * typically AF_UNIX socketpair halves for same-host shards. Hello
+     * is sent immediately and the peer's Hello validated lazily on
+     * first receive, so two transports sharing a socketpair can be
+     * constructed in any order on one thread without deadlock.
+     */
+    static std::unique_ptr<ShardTransport>
+    fromFds(const Options &opts,
+            std::vector<std::pair<uint32_t, SocketFd>> peers,
+            uint64_t topo_hash);
+
+    ~ShardTransport() override;
+
+    /** Incoming direction: batches for @p link_id arrive from
+     *  @p peer_rank and are pushed into @p chan. */
+    void bindRxChannel(uint32_t link_id, uint32_t peer_rank,
+                       TokenChannel *chan);
+
+    /** Outgoing direction: batches the fabric produces for @p link_id
+     *  are shipped to @p peer_rank. */
+    void bindTxLink(uint32_t link_id, uint32_t peer_rank);
+
+    void onPeerLoss(PeerLossFn fn) { lossFn = std::move(fn); }
+
+    /**
+     * Optional host profiling: fired on the driving thread with the
+     * wall-clock duration of each round's "shard.flush" and
+     * "shard.barrier" phases. The Cluster bridges this into its
+     * TraceEventSink (net cannot depend on telemetry).
+     */
+    using SpanFn = std::function<void(const char *name, uint64_t dur_ns)>;
+    void setSpanHook(SpanFn fn) { spanFn = std::move(fn); }
+
+    /** Orderly shutdown: Bye to every live peer, close sockets.
+     *  Idempotent; also run by the destructor. */
+    void shutdown();
+
+    uint32_t rank() const { return opts.rank; }
+    uint32_t shards() const { return opts.shards; }
+    const Options &options() const { return opts; }
+
+    /** Ascending rank order; parallel to peerStatsAt(). */
+    const std::vector<uint32_t> &peerRanks() const { return ranks; }
+    const PeerStats &peerStatsAt(size_t idx) const
+    {
+        return peers.at(idx).stats;
+    }
+
+    size_t livePeers() const;
+    bool anyPeerLost() const { return lostPeers != 0; }
+
+    // ---- RemoteRoundHook ---------------------------------------------
+    void onTxBatch(uint32_t link_id, const TokenBatch &batch) override;
+    void onRoundComplete(uint64_t round, Cycles round_start) override;
+
+  private:
+    struct Peer
+    {
+        uint32_t rank = 0;
+        SocketFd sock;
+        std::string txBuf; //!< this round's encoded outbound frames
+        std::string rxBuf; //!< unparsed inbound bytes
+        bool helloSeen = false;
+        bool roundDone = false; //!< RoundDone for the current round
+        PeerStats stats;
+    };
+
+    struct RxBinding
+    {
+        uint32_t linkId = 0;
+        uint32_t peerIdx = 0;
+        TokenChannel *chan = nullptr;
+        Cycles nextStart = 0;  //!< production cycle of the next push
+        uint64_t pushed = 0;   //!< batches pushed (received + synthetic)
+    };
+
+    struct TxBinding
+    {
+        uint32_t linkId = 0;
+        uint32_t peerIdx = 0;
+    };
+
+    ShardTransport(const Options &opts, uint64_t topo_hash);
+
+    size_t peerIndexOf(uint32_t peer_rank) const;
+    void validateHello(Peer &peer, const Frame &frame) const;
+
+    /** Parse every complete frame buffered for @p peer; returns when
+     *  the buffer ends mid-frame or RoundDone(@p round) was seen. */
+    void drainFrames(Peer &peer, uint64_t round, Cycles round_start);
+
+    /** Blocking read of one frame during setup (fatal on failure). */
+    Frame recvFrameBlocking(Peer &peer, int timeout_ms);
+
+    /** Convert @p peer into a dead peer (or fatal() when failFast). */
+    void peerLost(Peer &peer, uint64_t round, Cycles cycle,
+                  const char *why);
+
+    /** Push empty batches for dead peers' links missing round data. */
+    void synthesizeMissing(uint64_t round);
+
+    Options opts;
+    uint64_t topoHash;
+    std::vector<Peer> peers;   //!< ascending rank
+    std::vector<uint32_t> ranks;
+    std::vector<RxBinding> rxBindings;
+    std::vector<TxBinding> txBindings;
+    PeerLossFn lossFn;
+    SpanFn spanFn;
+    size_t lostPeers = 0;
+    bool shutdownDone = false;
+};
+
+} // namespace firesim
+
+#endif // FIRESIM_NET_REMOTE_SHARD_TRANSPORT_HH

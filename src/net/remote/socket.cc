@@ -1,0 +1,192 @@
+#include "net/remote/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+sockaddr_in
+resolveV4(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    // Numeric dotted-quad only: shard rendezvous addresses come from
+    // --shard-connect and are host addresses, not names. Keeping
+    // getaddrinfo out of the hot path also keeps this usable between
+    // fork() and exec() in the death tests.
+    if (host.empty() || host == "*") {
+        addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        fatal("shard transport: '%s' is not a numeric IPv4 address",
+              host.c_str());
+    }
+    return addr;
+}
+
+} // namespace
+
+void
+SocketFd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+SocketFd
+tcpListen(const std::string &host, uint16_t port, int backlog)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("shard transport: socket(): %s", std::strerror(errno));
+    SocketFd sock(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = resolveV4(host, port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0)
+        fatal("shard transport: bind %s:%u: %s", host.c_str(), port,
+              std::strerror(errno));
+    if (::listen(fd, backlog) < 0)
+        fatal("shard transport: listen: %s", std::strerror(errno));
+    return sock;
+}
+
+uint16_t
+boundPort(const SocketFd &listener)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0)
+        fatal("shard transport: getsockname: %s", std::strerror(errno));
+    return ntohs(addr.sin_port);
+}
+
+SocketFd
+tcpAccept(const SocketFd &listener, int timeout_ms)
+{
+    int ready = pollIn(listener.fd(), timeout_ms);
+    if (ready <= 0) {
+        if (ready < 0)
+            fatal("shard transport: accept poll failed");
+        return SocketFd();
+    }
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0)
+        fatal("shard transport: accept: %s", std::strerror(errno));
+    setNoDelay(fd);
+    return SocketFd(fd);
+}
+
+SocketFd
+tcpConnectRetry(const std::string &host, uint16_t port, int attempts,
+                int backoff_ms, int backoff_cap_ms)
+{
+    sockaddr_in addr = resolveV4(host, port);
+    int delay = backoff_ms > 0 ? backoff_ms : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            delay = std::min(delay * 2, std::max(backoff_cap_ms, 1));
+        }
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("shard transport: socket(): %s", std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            setNoDelay(fd);
+            return SocketFd(fd);
+        }
+        ::close(fd);
+    }
+    fatal("shard transport: connect to %s:%u failed after %d attempts "
+          "(bounded backoff exhausted)",
+          host.c_str(), port, attempts);
+    return SocketFd(); // unreachable
+}
+
+std::pair<SocketFd, SocketFd>
+localSocketPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0)
+        fatal("shard transport: socketpair: %s", std::strerror(errno));
+    return {SocketFd(fds[0]), SocketFd(fds[1])};
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    // Best effort: AF_UNIX sockets reject it, which is fine.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool
+sendAll(int fd, const void *buf, size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+pollIn(int fd, int timeout_ms)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    while (true) {
+        int r = ::poll(&pfd, 1, timeout_ms);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return 0;
+        // POLLHUP/POLLERR with pending bytes still reads; recvSome
+        // reports the final EOF. Report ready so the caller drains.
+        return 1;
+    }
+}
+
+long
+recvSome(int fd, void *buf, size_t len)
+{
+    while (true) {
+        ssize_t n = ::recv(fd, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+} // namespace firesim

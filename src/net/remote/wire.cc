@@ -1,0 +1,159 @@
+#include "net/remote/wire.hh"
+
+#include "base/logging.hh"
+#include "base/varint.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+/** Flit meta byte: payload size (1..8) in the low nibble, `last` in
+ *  bit 7. Sizes are validated on decode so a corrupt stream cannot
+ *  smuggle an invalid flit into a TokenBatch. */
+constexpr uint8_t kLastBit = 0x80;
+
+void
+beginFrame(std::string &out, FrameType type, const std::string &payload)
+{
+    out.push_back(static_cast<char>(type));
+    putVarint(out, payload.size());
+    out.append(payload);
+}
+
+} // namespace
+
+void
+encodeHello(std::string &out, uint32_t rank, uint32_t shards,
+            uint64_t topo_hash)
+{
+    std::string p;
+    putVarint(p, kWireVersion);
+    putVarint(p, rank);
+    putVarint(p, shards);
+    putVarint(p, topo_hash);
+    beginFrame(out, FrameType::Hello, p);
+}
+
+void
+encodeBatch(std::string &out, uint32_t link_id, const TokenBatch &batch)
+{
+    std::string p;
+    putVarint(p, link_id);
+    putVarint(p, batch.start);
+    putVarint(p, batch.len);
+    putVarint(p, batch.flits.size());
+    uint32_t prev = 0;
+    bool first = true;
+    for (const Flit &f : batch.flits) {
+        // Offsets are strictly increasing; delta+1 keeps the first
+        // flit's encoding uniform (offset 0 -> delta 1).
+        uint32_t delta = first ? f.offset + 1 : f.offset - prev;
+        first = false;
+        prev = f.offset;
+        putVarint(p, delta);
+        uint8_t meta =
+            static_cast<uint8_t>(f.size) | (f.last ? kLastBit : 0);
+        p.push_back(static_cast<char>(meta));
+        p.append(reinterpret_cast<const char *>(f.data.data()), f.size);
+    }
+    beginFrame(out, FrameType::Batch, p);
+}
+
+void
+encodeRoundDone(std::string &out, uint64_t round, Cycles cycle)
+{
+    std::string p;
+    putVarint(p, round);
+    putVarint(p, cycle);
+    beginFrame(out, FrameType::RoundDone, p);
+}
+
+void
+encodeBye(std::string &out)
+{
+    beginFrame(out, FrameType::Bye, std::string());
+}
+
+bool
+decodeFrame(const std::string &in, size_t &pos, Frame &out)
+{
+    size_t p = pos;
+    if (p >= in.size())
+        return false;
+    uint8_t type_byte = static_cast<uint8_t>(in[p++]);
+    uint64_t plen;
+    if (!tryGetVarint(in, p, plen))
+        return false;
+    if (p + plen > in.size())
+        return false; // frame body not fully buffered yet
+    size_t frame_end = p + plen;
+
+    out = Frame{};
+    switch (static_cast<FrameType>(type_byte)) {
+      case FrameType::Hello: {
+        out.type = FrameType::Hello;
+        out.version = static_cast<uint32_t>(getVarint(in, p));
+        out.rank = static_cast<uint32_t>(getVarint(in, p));
+        out.shards = static_cast<uint32_t>(getVarint(in, p));
+        out.topoHash = getVarint(in, p);
+        break;
+      }
+      case FrameType::Batch: {
+        out.type = FrameType::Batch;
+        out.linkId = static_cast<uint32_t>(getVarint(in, p));
+        out.batch.start = getVarint(in, p);
+        out.batch.len = static_cast<uint32_t>(getVarint(in, p));
+        uint64_t nflits = getVarint(in, p);
+        if (nflits > out.batch.len)
+            panic("wire: batch frame with %llu flits but len %u",
+                  (unsigned long long)nflits, out.batch.len);
+        out.batch.flits.reserve(nflits);
+        uint32_t offset = 0;
+        for (uint64_t i = 0; i < nflits; ++i) {
+            uint64_t delta = getVarint(in, p);
+            if (delta == 0)
+                panic("wire: zero flit-offset delta");
+            offset += static_cast<uint32_t>(delta);
+            Flit f;
+            f.offset = offset - 1;
+            if (p >= frame_end)
+                panic("wire: truncated flit meta");
+            uint8_t meta = static_cast<uint8_t>(in[p++]);
+            f.last = (meta & kLastBit) != 0;
+            f.size = meta & 0x7f;
+            if (f.size < 1 || f.size > kFlitBytes)
+                panic("wire: invalid flit size %u", f.size);
+            if (p + f.size > frame_end)
+                panic("wire: truncated flit payload");
+            for (uint8_t b = 0; b < f.size; ++b)
+                f.data[b] = static_cast<uint8_t>(in[p++]);
+            if (f.offset >= out.batch.len)
+                panic("wire: flit offset %u outside batch len %u",
+                      f.offset, out.batch.len);
+            out.batch.flits.push_back(f);
+        }
+        break;
+      }
+      case FrameType::RoundDone: {
+        out.type = FrameType::RoundDone;
+        out.round = getVarint(in, p);
+        out.cycle = getVarint(in, p);
+        break;
+      }
+      case FrameType::Bye: {
+        out.type = FrameType::Bye;
+        break;
+      }
+      default:
+        panic("wire: unknown frame type %u", type_byte);
+    }
+    if (p != frame_end)
+        panic("wire: frame payload length mismatch (%zu != %zu)", p,
+              frame_end);
+    pos = frame_end;
+    return true;
+}
+
+} // namespace firesim

@@ -66,6 +66,7 @@ SchedTelemetry::reset(unsigned width)
     rounds = 0;
     sumMaxBusyNs = 0;
     sumTotalBusyNs = 0;
+    sumMeanBusyNs = 0.0;
 }
 
 void
@@ -78,9 +79,12 @@ void
 SchedTelemetry::endRound()
 {
     uint64_t max = 0, total = 0;
+    unsigned active = 0;
     for (uint64_t b : roundBusy) {
         max = std::max(max, b);
         total += b;
+        if (b > 0)
+            ++active;
     }
     // Rounds where nothing was measured (no units, or a width change
     // mid-run) would skew the ratio toward zero; skip them.
@@ -89,16 +93,19 @@ SchedTelemetry::endRound()
     ++rounds;
     sumMaxBusyNs += max;
     sumTotalBusyNs += total;
+    // Mean over the workers that did work this round, not the
+    // configured width: a round that used 2 of 8 workers perfectly
+    // evenly is balanced (ratio 1), not magically 4x better.
+    sumMeanBusyNs +=
+        static_cast<double>(total) / static_cast<double>(active);
 }
 
 double
 SchedTelemetry::maxMeanBusyRatio() const
 {
-    if (sumTotalBusyNs == 0 || workers.empty())
+    if (sumMeanBusyNs <= 0.0 || workers.empty())
         return 0.0;
-    double mean = static_cast<double>(sumTotalBusyNs) /
-                  static_cast<double>(workers.size());
-    return static_cast<double>(sumMaxBusyNs) / mean;
+    return static_cast<double>(sumMaxBusyNs) / sumMeanBusyNs;
 }
 
 uint64_t
@@ -272,12 +279,19 @@ RoundScheduler::dispatch(ThreadPool &pool, UnitFn fn, void *ctx)
             tel->roundBusy[w] += scratch[w].busyNs;
         }
     }
-    for (uint32_t u = 0; u < units_; ++u) {
-        double m = static_cast<double>(lastNs[u]);
-        ewmaNs[u] = ewmaNs[u] == 0.0
-                        ? m
-                        : kEwmaAlpha * m + (1.0 - kEwmaAlpha) * ewmaNs[u];
-    }
+    for (uint32_t u = 0; u < units_; ++u)
+        recordSample(u, lastNs[u]);
+}
+
+void
+RoundScheduler::recordSample(uint32_t unit, uint64_t raw_ns)
+{
+    // Clamp: a genuine 0ns reading (unit cheaper than the clock
+    // granularity) must not collide with the 0.0 "never measured"
+    // sentinel, or the EWMA would restart from the seed every round.
+    double m = static_cast<double>(std::max<uint64_t>(raw_ns, 1));
+    double &e = ewmaNs.at(unit);
+    e = e == 0.0 ? m : kEwmaAlpha * m + (1.0 - kEwmaAlpha) * e;
 }
 
 } // namespace firesim

@@ -208,6 +208,11 @@ struct SchedTelemetry
     uint64_t rounds = 0;         //!< measured rounds
     uint64_t sumMaxBusyNs = 0;   //!< Σ over rounds of max-worker busy
     uint64_t sumTotalBusyNs = 0; //!< Σ over rounds of Σ-worker busy
+    /** Σ over rounds of (Σ-worker busy / workers *that did work*).
+     *  Dividing by the configured width would understate imbalance
+     *  whenever a round uses fewer workers than the pool has (fewer
+     *  units than workers, a begin-only pass, ...). */
+    double sumMeanBusyNs = 0.0;
 
     /** Reset all counters for a pool of @p width workers. */
     void reset(unsigned width);
@@ -218,8 +223,9 @@ struct SchedTelemetry
 
     /**
      * Load-balance figure of merit, weighted by round length:
-     * Σ(per-round max worker busy) / (Σ(per-round total busy) / W).
-     * 1.0 is perfect balance; W is one worker doing everything.
+     * Σ(per-round max worker busy) / Σ(per-round mean busy of the
+     * workers that did work). 1.0 is perfect balance; N is one worker
+     * doing everything while N-1 active workers idle.
      */
     double maxMeanBusyRatio() const;
 
@@ -256,6 +262,15 @@ class RoundScheduler
 
     /** Expected cost of @p unit in ns (0 until first measured). */
     double expectedCostNs(uint32_t unit) const { return ewmaNs.at(unit); }
+
+    /**
+     * Fold one wall-time measurement for @p unit into the cost model.
+     * Samples are clamped to >= 1ns: 0.0 doubles as the never-measured
+     * sentinel in the EWMA table, so an unclamped 0ns sample (cheap
+     * unit + coarse clock) would leave the unit permanently "unseeded"
+     * and re-seeded from scratch every round. Driving thread only.
+     */
+    void recordSample(uint32_t unit, uint64_t raw_ns);
 
     /**
      * Run fn(ctx, u) exactly once for every configured unit across

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "base/varint.hh"
 
 namespace firesim
 {
@@ -14,45 +15,6 @@ namespace
 
 constexpr char kMagic[4] = {'F', 'S', 'I', 'T'}; //!< FireSim Instr Trace
 constexpr uint32_t kVersion = 1;
-
-void
-putVarint(std::string &out, uint64_t v)
-{
-    while (v >= 0x80) {
-        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
-        v >>= 7;
-    }
-    out.push_back(static_cast<char>(v));
-}
-
-uint64_t
-getVarint(const std::string &in, size_t &pos)
-{
-    uint64_t v = 0;
-    uint32_t shift = 0;
-    while (true) {
-        if (pos >= in.size() || shift > 63)
-            panic("corrupt instruction trace stream at byte %zu", pos);
-        uint8_t byte = static_cast<uint8_t>(in[pos++]);
-        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return v;
-        shift += 7;
-    }
-}
-
-uint64_t
-zigzag(int64_t v)
-{
-    return (static_cast<uint64_t>(v) << 1) ^
-           static_cast<uint64_t>(v >> 63);
-}
-
-int64_t
-unzigzag(uint64_t v)
-{
-    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
-}
 
 /** Encode ring records [lo, hi) (logical indices from the ring head)
  *  against the given predecessor. The shared body of the serial and

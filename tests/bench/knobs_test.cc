@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Death tests for the bench knob parsers (bench/common.hh): the
+ * documented contract is strict — no leading whitespace (strtoul
+ * would silently skip it), no signs, no trailing junk — on both the
+ * --flag and the FIRESIM_* environment paths, which share the parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/common.hh"
+
+namespace firesim
+{
+namespace
+{
+
+using bench::parseCommonFlags;
+using bench::parseShardConnectKnob;
+using bench::parseUnsignedKnob;
+
+/** Run parseCommonFlags on a single fake argv flag. */
+void
+parseOneFlag(const char *flag)
+{
+    const char *argv[] = {"bench", flag};
+    parseCommonFlags(2, const_cast<char **>(argv));
+}
+
+TEST(KnobParse, AcceptsStrictDecimal)
+{
+    EXPECT_EQ(parseUnsignedKnob("t", "0"), 0u);
+    EXPECT_EQ(parseUnsignedKnob("t", "8"), 8u);
+    EXPECT_EQ(parseUnsignedKnob("t", "+3"), 3u);
+    EXPECT_EQ(parseUnsignedKnob("t", "4294967295"), 4294967295u);
+}
+
+TEST(KnobParseDeath, RejectsMalformedValues)
+{
+    EXPECT_EXIT(parseUnsignedKnob("t", ""),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "abc"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "-3"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "3x"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "+"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "4294967296"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(KnobParseDeath, RejectsLeadingWhitespace)
+{
+    // strtoul skips leading whitespace, so " 8" used to parse as 8 in
+    // violation of the strict contract. All whitespace shapes die now.
+    EXPECT_EXIT(parseUnsignedKnob("t", " 8"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "\t8"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", " +8"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseUnsignedKnob("t", "8 "),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(KnobParseDeath, EnvPathSharesTheStrictParser)
+{
+    // The FIRESIM_* environment variables funnel through the same
+    // parser; a whitespace-polluted env var must die, not truncate.
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_PARALLEL_HOSTS", " 8", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_PARALLEL_HOSTS");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_SHARDS", "2x", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_SHARDS");
+}
+
+TEST(KnobParseDeath, FlagPathRejectsWhitespace)
+{
+    EXPECT_EXIT(parseOneFlag("--parallel-hosts= 8"),
+                ::testing::ExitedWithCode(2), "--parallel-hosts");
+    EXPECT_EXIT(parseOneFlag("--shard-rank=1 "),
+                ::testing::ExitedWithCode(2), "--shard-rank");
+}
+
+TEST(KnobParseDeath, ShardConnectDemandsHostColonPort)
+{
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", "nohost"),
+                ::testing::ExitedWithCode(2), "HOST:PORT");
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", ":9000"),
+                ::testing::ExitedWithCode(2), "HOST:PORT");
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", "a:b:c"),
+                ::testing::ExitedWithCode(2), "HOST:PORT");
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", "h:port"),
+                ::testing::ExitedWithCode(2), "non-negative integer");
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", "h:0"),
+                ::testing::ExitedWithCode(2), "1, 65535");
+    EXPECT_EXIT(parseShardConnectKnob("--shard-connect", "h:70000"),
+                ::testing::ExitedWithCode(2), "1, 65535");
+}
+
+TEST(KnobParseDeath, ShardFlagCrossValidation)
+{
+    // IIFEs: EXPECT_EXIT is a macro, so brace-initializer commas in a
+    // plain compound statement would split into macro arguments.
+    EXPECT_EXIT(
+        ([] {
+            const char *argv[] = {"bench", "--shards=2",
+                                  "--shard-rank=2",
+                                  "--shard-connect=h:9000"};
+            parseCommonFlags(4, const_cast<char **>(argv));
+        }()),
+        ::testing::ExitedWithCode(2), "out of range");
+    EXPECT_EXIT(
+        ([] {
+            // The parser state is process-global; make sure no earlier
+            // test's --shard-connect satisfies the check in this child.
+            bench::shardBasePortRef() = 0;
+            const char *argv[] = {"bench", "--shards=2"};
+            parseCommonFlags(2, const_cast<char **>(argv));
+        }()),
+        ::testing::ExitedWithCode(2), "needs --shard-connect");
+    EXPECT_EXIT(parseOneFlag("--shards=0"),
+                ::testing::ExitedWithCode(2), "at least 1");
+}
+
+TEST(KnobParse, ShardConnectRoundTrips)
+{
+    parseShardConnectKnob("--shard-connect", "10.1.2.3:9000");
+    EXPECT_EQ(bench::shardConnectHostRef(), "10.1.2.3");
+    EXPECT_EQ(bench::shardBasePortRef(), 9000u);
+}
+
+} // namespace
+} // namespace firesim

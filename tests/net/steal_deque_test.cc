@@ -259,5 +259,52 @@ TEST(SchedTelemetry, MaxMeanBusyRatioWeightsByRound)
     EXPECT_EQ(tel.rounds, 2u);
 }
 
+TEST(SchedTelemetry, MeanIsOverWorkersThatDidWork)
+{
+    // Regression: the ratio used to divide by the configured pool
+    // width, so a round that used 2 of 4 workers looked 2x better
+    // balanced than it was (and a perfectly even 1-of-4 round scored
+    // an impossible 0.25-style ratio scaled to 4.0).
+    SchedTelemetry tel;
+    tel.reset(4);
+    tel.beginRound();
+    tel.roundBusy[0] = 300; // only one worker had any units
+    tel.endRound();
+    EXPECT_NEAR(tel.maxMeanBusyRatio(), 1.0, 1e-9);
+
+    tel.beginRound();
+    tel.roundBusy[0] = 300;
+    tel.roundBusy[1] = 100; // two active: max 300, mean 200
+    tel.endRound();
+    // Cumulative: (300 + 300) / (300 + 200).
+    EXPECT_NEAR(tel.maxMeanBusyRatio(), 600.0 / 500.0, 1e-9);
+    EXPECT_EQ(tel.sumTotalBusyNs, 700u);
+}
+
+TEST(RoundScheduler, ZeroNsSampleSeedsTheCostModel)
+{
+    // Regression: a 0ns measurement (unit cheaper than the clock tick)
+    // collided with the "never measured" EWMA sentinel, leaving the
+    // unit permanently unseeded — it was re-seeded from scratch every
+    // round and the LPT partition never learned its cost.
+    RoundScheduler sched;
+    SchedTelemetry tel;
+    tel.reset(1);
+    sched.configure(2, 1, &tel);
+
+    sched.recordSample(0, 0);
+    EXPECT_DOUBLE_EQ(sched.expectedCostNs(0), 1.0); // clamped seed
+    sched.recordSample(0, 1000);
+    // Blended, not re-seeded: 0.25 * 1000 + 0.75 * 1.
+    EXPECT_DOUBLE_EQ(sched.expectedCostNs(0), 250.75);
+
+    // A 0ns sample after real measurements decays the EWMA toward the
+    // clamp floor instead of resetting it.
+    sched.recordSample(1, 400);
+    EXPECT_DOUBLE_EQ(sched.expectedCostNs(1), 400.0);
+    sched.recordSample(1, 0);
+    EXPECT_DOUBLE_EQ(sched.expectedCostNs(1), 0.25 * 1 + 0.75 * 400);
+}
+
 } // namespace
 } // namespace firesim
