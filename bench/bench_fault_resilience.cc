@@ -26,6 +26,7 @@
 #include "fault/fault_plan.hh"
 #include "host/deployment.hh"
 #include "host/perf_model.hh"
+#include "manager/checkpoint.hh"
 #include "manager/cluster.hh"
 #include "manager/topology.hh"
 
@@ -71,7 +72,9 @@ runScenario(const FaultPlan &plan, size_t src, size_t dst,
     pc.interval = clk.cyclesFromUs(10.0);
     PingResult result;
     launchPing(cluster.node(src), pc, &result);
-    cluster.runUs(budget_us);
+    bench::maybeResume(cluster);
+    if (!bench::runClusterUs(cluster, budget_us))
+        std::exit(0);
 
     ScenarioResult out;
     out.pingsCompleted =

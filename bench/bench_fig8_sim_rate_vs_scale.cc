@@ -33,6 +33,7 @@
 #include "bench/common.hh"
 #include "host/deployment.hh"
 #include "host/perf_model.hh"
+#include "manager/checkpoint.hh"
 #include "manager/cluster.hh"
 #include "manager/topology.hh"
 
@@ -67,8 +68,10 @@ measuredMhz(uint32_t nodes, double target_us, unsigned hosts)
     bc.fsMetadataSectors = 256;
     for (uint32_t n = 0; n < nodes; ++n)
         launchBootWorkload(cluster.node(n), bc, &boots[n]);
+    bench::maybeResume(cluster);
     bench::Stopwatch clock;
-    cluster.runUs(target_us);
+    if (!bench::runClusterUs(cluster, target_us))
+        std::exit(0);
     double wall_s = clock.seconds();
     for (uint32_t n = 0; n < nodes; ++n)
         if (!boots[n].poweredDown)
@@ -118,8 +121,10 @@ runBalance(SchedPolicy policy, unsigned hosts, double target_us)
     bc.fsMetadataSectors = 256;
     for (uint32_t n = 0; n < 32; ++n)
         launchBootWorkload(cluster.node(n), bc, &boots[n]);
+    bench::maybeResume(cluster);
     bench::Stopwatch clock;
-    cluster.runUs(target_us);
+    if (!bench::runClusterUs(cluster, target_us))
+        std::exit(0);
     double wall_s = clock.seconds();
 
     const SchedTelemetry &tel = cluster.fabric().schedTelemetry();

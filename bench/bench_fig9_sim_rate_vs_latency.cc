@@ -18,6 +18,7 @@
 #include "bench/common.hh"
 #include "host/deployment.hh"
 #include "host/perf_model.hh"
+#include "manager/checkpoint.hh"
 #include "manager/cluster.hh"
 #include "manager/topology.hh"
 
@@ -33,8 +34,10 @@ measuredMhz(Cycles link_latency, double target_us)
     cc.linkLatency = link_latency;
     bench::applyClusterFlags(cc);
     Cluster cluster(topologies::twoLevel(2, 8), cc);
+    bench::maybeResume(cluster);
     bench::Stopwatch clock;
-    cluster.runUs(target_us);
+    if (!bench::runClusterUs(cluster, target_us))
+        std::exit(0);
     double cycles = TargetClock().cyclesFromUs(target_us);
     return cycles / clock.seconds() / 1e6;
 }
@@ -49,7 +52,9 @@ batchesPerKCycle(Cycles link_latency, Cycles quantum)
     Cluster cluster(topologies::twoLevel(2, 8), cc);
     (void)quantum; // the fabric always batches by min link latency
     Cycles target = 64000;
-    cluster.run(target);
+    bench::maybeResume(cluster);
+    if (!bench::runClusterCycles(cluster, target))
+        std::exit(0);
     return static_cast<double>(cluster.fabric().batchesMoved()) * 1000.0 /
            static_cast<double>(target);
 }

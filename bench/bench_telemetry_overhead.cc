@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "manager/checkpoint.hh"
 #include "manager/cluster.hh"
 #include "manager/topology.hh"
 
@@ -60,8 +61,10 @@ runTrial(bool telemetry_on, double target_us, const std::string &trace_path)
             co_await n0.net().ping(Cluster::ipFor(1));
     });
 
+    bench::maybeResume(cluster);
     bench::Stopwatch watch;
-    cluster.runUs(target_us);
+    if (!bench::runClusterUs(cluster, target_us))
+        std::exit(0);
     TrialResult r;
     r.seconds = watch.seconds();
     r.finalCycle = cluster.now();

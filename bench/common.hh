@@ -198,6 +198,75 @@ parseShardConnectKnob(const char *what, const char *text)
     shardBasePortRef() = port;
 }
 
+/** Snapshot path for periodic/final checkpoints (--checkpoint). */
+inline std::string &
+checkpointPathRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Checkpoint every N fabric rounds (--checkpoint-every); 0 = only
+ *  the final signal-driven snapshot. */
+inline unsigned &
+checkpointEveryRef()
+{
+    static unsigned every = 0;
+    return every;
+}
+
+/** Snapshot to resume from (--restore); empty = fresh run. */
+inline std::string &
+restorePathRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Wall-clock cap in ms on the shard rendezvous connect loop
+ *  (--shard-connect-timeout); 0 = attempt-bounded only. */
+inline unsigned &
+shardConnectTimeoutMsRef()
+{
+    static unsigned ms = 0;
+    return ms;
+}
+
+/**
+ * Cycles already covered by a --restore replay. The first
+ * runClusterUs/runClusterCycles spans consume this credit instead of
+ * re-running, so a resumed bench follows the same absolute-cycle
+ * trajectory as the uninterrupted one.
+ */
+inline uint64_t &
+resumeCreditRef()
+{
+    static uint64_t credit = 0;
+    return credit;
+}
+
+/** Number of clusters this bench has passed through maybeResume();
+ *  the current cluster's sweep ordinal is this minus one. */
+inline uint64_t &
+runOrdinalRef()
+{
+    static uint64_t count = 0;
+    return count;
+}
+
+/**
+ * Per-sweep-point snapshot path: the bench's k-th cluster checkpoints
+ * to `<path>.run<k>` (bare path for k == 0), so a termination signal
+ * can land on any point of a multi-configuration sweep and --restore
+ * still pairs every snapshot with the cluster it was taken from.
+ */
+inline std::string
+ordinalSnapPath(const std::string &path, uint64_t ordinal)
+{
+    return ordinal == 0 ? path
+                        : path + ".run" + std::to_string(ordinal);
+}
+
 /** Parse @p text as a scheduler policy name or exit(2). */
 inline SchedPolicy
 parseSchedKnob(const char *what, const char *text)
@@ -227,6 +296,17 @@ parseSchedKnob(const char *what, const char *text)
  *                            (env FIRESIM_SHARD_RANK)
  *   --shard-connect=HOST:PORT  rendezvous address; rank r listens on
  *                            PORT + r (env FIRESIM_SHARD_CONNECT)
+ *   --shard-connect-timeout=MS  cap the whole rendezvous connect loop
+ *                            (env FIRESIM_SHARD_CONNECT_TIMEOUT; 0 =
+ *                            attempt-bounded only)
+ *   --checkpoint=PATH        snapshot file for periodic + final
+ *                            checkpoints (env FIRESIM_CHECKPOINT)
+ *   --checkpoint-every=N     checkpoint every N fabric rounds
+ *                            (env FIRESIM_CHECKPOINT_EVERY; needs
+ *                            --checkpoint)
+ *   --restore=PATH           resume the first cluster this bench
+ *                            builds from a snapshot
+ *                            (env FIRESIM_RESTORE)
  * Flags win over the environment. Malformed values are an error, not a
  * silent fallback. Unknown arguments are ignored so binaries stay
  * permissive. Results are bit-identical for every combination — only
@@ -249,6 +329,16 @@ parseCommonFlags(int argc, char **argv)
         shardRankRef() = parseUnsignedKnob("FIRESIM_SHARD_RANK", env);
     if (const char *env = std::getenv("FIRESIM_SHARD_CONNECT"))
         parseShardConnectKnob("FIRESIM_SHARD_CONNECT", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_CONNECT_TIMEOUT"))
+        shardConnectTimeoutMsRef() =
+            parseUnsignedKnob("FIRESIM_SHARD_CONNECT_TIMEOUT", env);
+    if (const char *env = std::getenv("FIRESIM_CHECKPOINT"))
+        checkpointPathRef() = env;
+    if (const char *env = std::getenv("FIRESIM_CHECKPOINT_EVERY"))
+        checkpointEveryRef() =
+            parseUnsignedKnob("FIRESIM_CHECKPOINT_EVERY", env);
+    if (const char *env = std::getenv("FIRESIM_RESTORE"))
+        restorePathRef() = env;
 
     const std::string hosts_flag = "--parallel-hosts=";
     const std::string sched_flag = "--sched-policy=";
@@ -256,6 +346,10 @@ parseCommonFlags(int argc, char **argv)
     const std::string shards_flag = "--shards=";
     const std::string rank_flag = "--shard-rank=";
     const std::string connect_flag = "--shard-connect=";
+    const std::string ctimeout_flag = "--shard-connect-timeout=";
+    const std::string ckpt_flag = "--checkpoint=";
+    const std::string ckpt_every_flag = "--checkpoint-every=";
+    const std::string restore_flag = "--restore=";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind(hosts_flag, 0) == 0)
@@ -276,6 +370,18 @@ parseCommonFlags(int argc, char **argv)
         else if (arg.rfind(connect_flag, 0) == 0)
             parseShardConnectKnob(
                 "--shard-connect", arg.c_str() + connect_flag.size());
+        else if (arg.rfind(ctimeout_flag, 0) == 0)
+            shardConnectTimeoutMsRef() = parseUnsignedKnob(
+                "--shard-connect-timeout",
+                arg.c_str() + ctimeout_flag.size());
+        else if (arg.rfind(ckpt_flag, 0) == 0)
+            checkpointPathRef() = arg.substr(ckpt_flag.size());
+        else if (arg.rfind(ckpt_every_flag, 0) == 0)
+            checkpointEveryRef() = parseUnsignedKnob(
+                "--checkpoint-every",
+                arg.c_str() + ckpt_every_flag.size());
+        else if (arg.rfind(restore_flag, 0) == 0)
+            restorePathRef() = arg.substr(restore_flag.size());
     }
     if (parallelHostsRef() == 0)
         parallelHostsRef() = 1;
@@ -295,6 +401,12 @@ parseCommonFlags(int argc, char **argv)
                      "error: --shards=%u needs --shard-connect="
                      "HOST:PORT for the rendezvous\n",
                      shards());
+        std::exit(2);
+    }
+    if (checkpointEveryRef() != 0 && checkpointPathRef().empty()) {
+        std::fprintf(stderr, "error: --checkpoint-every=%u needs "
+                             "--checkpoint=PATH\n",
+                     checkpointEveryRef());
         std::exit(2);
     }
     if (parallelHostsRef() > 1)
@@ -325,6 +437,75 @@ applyClusterFlags(ClusterConfigT &cc)
     cc.shard.rank = shardRank();
     cc.shard.connectHost = shardConnectHostRef();
     cc.shard.basePort = static_cast<uint16_t>(shardBasePortRef());
+    cc.shard.connectTimeoutMs =
+        static_cast<int>(shardConnectTimeoutMsRef());
+}
+
+/**
+ * Apply --restore to this cluster if a snapshot exists for its sweep
+ * ordinal (ordinalSnapPath): replay to the snapshot cycle and verify
+ * + apply the saved state (ADL finds firesim::resumeFromSnapshot /
+ * snapshotExists). Call once per cluster, after all setup — fault
+ * plans, telemetry, workloads — so the replay matches the saved run.
+ * Sweep points the interrupted run never checkpointed re-run fresh;
+ * a snapshot that exists but fails to resume is an error, not a
+ * silent fresh start. No-op without --restore.
+ */
+template <typename ClusterT>
+inline void
+maybeResume(ClusterT &clu)
+{
+    uint64_t ordinal = runOrdinalRef()++;
+    resumeCreditRef() = 0; // credit never crosses clusters
+    if (restorePathRef().empty())
+        return;
+    std::string path = ordinalSnapPath(restorePathRef(), ordinal);
+    if (!snapshotExists(clu, path))
+        return;
+    std::string e = resumeFromSnapshot(clu, path);
+    if (!e.empty()) {
+        std::fprintf(stderr, "error: --restore=%s: %s\n",
+                     path.c_str(), e.c_str());
+        std::exit(1);
+    }
+    resumeCreditRef() = clu.now();
+    std::printf("[bench] resumed from %s at cycle %llu\n",
+                path.c_str(), (unsigned long long)clu.now());
+}
+
+/**
+ * Advance @p clu by @p cycles, honouring --checkpoint /
+ * --checkpoint-every (ADL finds firesim::runWithCheckpoints) and the
+ * resume credit left by maybeResume(). Returns false when a
+ * termination signal stopped the run early — the bench should skip
+ * its measurements and exit cleanly (a final snapshot was written).
+ */
+template <typename ClusterT>
+inline bool
+runClusterCycles(ClusterT &clu, uint64_t cycles)
+{
+    uint64_t &credit = resumeCreditRef();
+    uint64_t skip = credit < cycles ? credit : cycles;
+    credit -= skip;
+    cycles -= skip;
+    if (cycles == 0)
+        return true;
+    if (checkpointPathRef().empty()) {
+        clu.run(cycles);
+        return true;
+    }
+    uint64_t ordinal = runOrdinalRef() ? runOrdinalRef() - 1 : 0;
+    return runWithCheckpoints(
+        clu, cycles, ordinalSnapPath(checkpointPathRef(), ordinal),
+        checkpointEveryRef());
+}
+
+/** runClusterCycles for a span given in target microseconds. */
+template <typename ClusterT>
+inline bool
+runClusterUs(ClusterT &clu, double us)
+{
+    return runClusterCycles(clu, clu.clock().cyclesFromUs(us));
 }
 
 /** Wall-clock stopwatch for simulation-rate measurements. */

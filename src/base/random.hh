@@ -86,6 +86,22 @@ class Random
     /** Bernoulli draw with probability @p p of true. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Copy the raw 256-bit stream state out (checkpoint support). */
+    void
+    saveState(uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state[i];
+    }
+
+    /** Overwrite the stream state with a saved copy. */
+    void
+    restoreState(const uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state[i] = in[i];
+    }
+
   private:
     static uint64_t rotl(uint64_t x, int k)
     {

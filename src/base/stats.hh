@@ -30,6 +30,8 @@ class Counter
     void operator+=(uint64_t n) { count += n; }
     uint64_t value() const { return count; }
     void reset() { count = 0; }
+    /** Overwrite the count (checkpoint support). */
+    void set(uint64_t v) { count = v; }
 
   private:
     uint64_t count = 0;
@@ -167,6 +169,32 @@ class Histogram
     /** Retained samples in arrival (exact) or reservoir order. */
     const std::vector<double> &samples() const { return values; }
 
+    /** Exact running sum, valid at any count (checkpoint support). */
+    double rawSum() const { return sum; }
+    /** Raw min/max including the empty-histogram infinities. */
+    double rawMin() const { return lo; }
+    double rawMax() const { return hi; }
+
+    /** The reservoir's RNG stream (state travels with checkpoints). */
+    Random &reservoirRng() { return rng; }
+    const Random &reservoirRng() const { return rng; }
+
+    /** Overwrite the full sample state from a checkpoint. The
+     *  reservoir cap is configuration, not state — the owner must
+     *  have applied the same setReservoir() before restoring. */
+    void
+    restoreState(std::vector<double> vals, double s, uint64_t cnt,
+                 double mn, double mx)
+    {
+        values = std::move(vals);
+        scratch.clear();
+        sorted = false;
+        sum = s;
+        n = cnt;
+        lo = mn;
+        hi = mx;
+    }
+
   private:
     void
     ensureSorted() const
@@ -206,6 +234,22 @@ class RunningStat
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
     double min() const { return n ? lo : 0.0; }
     double max() const { return n ? hi : 0.0; }
+
+    /** Raw aggregates for checkpointing (rawMin/rawMax keep the
+     *  empty-state infinities that min()/max() mask). */
+    double rawSum() const { return sum; }
+    double rawMin() const { return lo; }
+    double rawMax() const { return hi; }
+
+    /** Overwrite the aggregates from a checkpoint. */
+    void
+    restoreState(double s, uint64_t cnt, double mn, double mx)
+    {
+        sum = s;
+        n = cnt;
+        lo = mn;
+        hi = mx;
+    }
 
     void
     reset()

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "snapshot/state_io.hh"
+
 namespace firesim
 {
 
@@ -118,6 +120,47 @@ BlockDevice::readImage(uint32_t sector, void *dst, uint64_t len) const
     uint64_t base = static_cast<uint64_t>(sector) * kSectorBytes;
     FS_ASSERT(base + len <= storage.size(), "image read out of range");
     storage.read(base, dst, len);
+}
+
+void
+BlockDevice::snapshotSave(Serializer &s) const
+{
+    s.putU(trackerBusy.size());
+    for (bool b : trackerBusy)
+        s.putB(b);
+    s.putU(completions.size());
+    for (uint32_t id : completions)
+        s.putU(id);
+    saveCounter(s, stats_.reads);
+    saveCounter(s, stats_.writes);
+    saveCounter(s, stats_.sectorsMoved);
+    saveCounter(s, stats_.interruptsRaised);
+    storage.snapshotSave(s);
+}
+
+void
+BlockDevice::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    uint64_t n = d.getU();
+    if (n != trackerBusy.size()) {
+        err.add(csprintf("%s tracker count: live %zu != snapshot %llu",
+                         cfg.name.c_str(), trackerBusy.size(),
+                         (unsigned long long)n));
+        return;
+    }
+    for (size_t i = 0; i < trackerBusy.size(); ++i)
+        trackerBusy[i] = d.getB();
+    completions.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        completions.push_back(static_cast<uint32_t>(d.getU()));
+    restoreCounter(d, stats_.reads);
+    restoreCounter(d, stats_.writes);
+    restoreCounter(d, stats_.sectorsMoved);
+    restoreCounter(d, stats_.interruptsRaised);
+    storage.snapshotRestore(d, err);
+    if (!d.ok())
+        err.add(cfg.name + ": " + d.error());
 }
 
 } // namespace firesim

@@ -39,6 +39,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** Sector size mandated by the controller. */
 constexpr uint32_t kSectorBytes = 512;
 
@@ -107,6 +111,15 @@ class BlockDevice
     /** Direct backing-store access for test setup / image loading. */
     void writeImage(uint32_t sector, const void *src, uint64_t len);
     void readImage(uint32_t sector, void *dst, uint64_t len) const;
+
+    /**
+     * Serialize tracker occupancy, the completion queue, counters, and
+     * the device image (sparse — only written pages). In-flight
+     * completion events live on the blade's event queue; the schedule
+     * digest covers them and replay rebuilds them.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     BlockDevConfig cfg;

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "snapshot/state_io.hh"
 
 namespace firesim
 {
@@ -269,6 +270,95 @@ HealthMonitor::report() const
     }
     out += ep.render();
     return out;
+}
+
+// ---- Checkpoint support ---------------------------------------------
+
+void
+HealthMonitor::snapshotSave(Serializer &s) const
+{
+    s.putU(curRound);
+    s.putU(curRoundStart);
+    for (const Counter &c : counts)
+        saveCounter(s, c);
+    s.putU(log.size());
+    for (const FaultEvent &e : log) {
+        s.putU(static_cast<uint64_t>(e.kind));
+        s.putU(e.round);
+        s.putU(e.cycle);
+        s.putStr(e.endpoint);
+        s.putI(e.port);
+        s.putStr(e.channel);
+        s.putStr(e.detail);
+    }
+    s.putU(eps.size());
+    for (const EndpointHealth &h : eps) {
+        s.putU(h.roundsAdvanced);
+        s.putU(h.roundsSkipped);
+        s.putU(h.anomalies);
+        s.putU(h.consecutiveBad);
+        s.putB(h.badThisRound);
+        s.putB(h.skippedThisRound);
+        s.putB(h.degraded);
+    }
+    s.putU(occupancyFlagged.size());
+    for (bool f : occupancyFlagged)
+        s.putB(f);
+}
+
+void
+HealthMonitor::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    curRound = d.getU();
+    curRoundStart = d.getU();
+    for (Counter &c : counts)
+        restoreCounter(d, c);
+    log.clear();
+    uint64_t n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+        FaultEvent e;
+        uint64_t kind = d.getU();
+        if (kind >= static_cast<uint64_t>(FaultEvent::Kind::kCount)) {
+            err.add(csprintf("health event %llu: bad kind %llu",
+                             (unsigned long long)i,
+                             (unsigned long long)kind));
+            return;
+        }
+        e.kind = static_cast<FaultEvent::Kind>(kind);
+        e.round = d.getU();
+        e.cycle = d.getU();
+        e.endpoint = d.getStr();
+        e.port = static_cast<int>(d.getI());
+        e.channel = d.getStr();
+        e.detail = d.getStr();
+        log.push_back(std::move(e));
+    }
+    n = d.getU();
+    if (n != eps.size()) {
+        err.add(csprintf("health endpoint count: live %zu != snapshot "
+                         "%llu", eps.size(), (unsigned long long)n));
+        return;
+    }
+    for (EndpointHealth &h : eps) {
+        h.roundsAdvanced = d.getU();
+        h.roundsSkipped = d.getU();
+        h.anomalies = d.getU();
+        h.consecutiveBad = static_cast<uint32_t>(d.getU());
+        h.badThisRound = d.getB();
+        h.skippedThisRound = d.getB();
+        h.degraded = d.getB();
+    }
+    n = d.getU();
+    if (n != occupancyFlagged.size()) {
+        err.add(csprintf("health channel count: live %zu != snapshot "
+                         "%llu", occupancyFlagged.size(),
+                         (unsigned long long)n));
+        return;
+    }
+    for (size_t i = 0; i < occupancyFlagged.size(); ++i)
+        occupancyFlagged[i] = d.getB();
+    if (!d.ok())
+        err.add("health monitor: " + d.error());
 }
 
 } // namespace firesim

@@ -117,6 +117,15 @@ class HealthMonitor : public FabricObserver
     /** Multi-line post-run health report (event counts, degradations). */
     std::string report() const;
 
+    /**
+     * Serialize the full diagnostic record: the event log, per-kind
+     * counters, per-endpoint health, latched channel-occupancy flags
+     * and the round cursor, so a restored run's post-run health report
+     * matches an unbroken run's.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
+
     // ---- FabricObserver ---------------------------------------------
     void onRoundStart(Cycles round_start, uint64_t round) override;
     bool endpointDown(size_t endpoint_idx, Cycles round_start) override;

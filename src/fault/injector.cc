@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/token_io.hh"
+#include "snapshot/state_io.hh"
 #include "switchmodel/switch.hh"
 
 namespace firesim
@@ -257,6 +259,89 @@ FaultInjector::onTransmit(size_t channel_idx, TokenBatch &batch)
             break;
         }
     }
+}
+
+// ---- Checkpoint support ---------------------------------------------
+
+void
+FaultInjector::snapshotSave(Serializer &s) const
+{
+    s.putU(curRound);
+    s.putU(dropped);
+    s.putU(corrupted);
+    s.putU(delayed);
+    s.putU(links.size());
+    for (const LinkState &l : links) {
+        s.putU(l.channel);
+        saveRandom(s, l.rng);
+        s.putU(l.carry.size());
+        for (const auto &[at, flit] : l.carry) {
+            s.putU(at);
+            saveFlit(s, flit);
+        }
+        s.putU(l.lastCycle);
+        s.putB(l.haveLast);
+    }
+    s.putU(ports.size());
+    for (const PortState &p : ports) {
+        s.putB(p.downApplied);
+        s.putB(p.upApplied);
+    }
+    s.putU(crashes.size());
+    for (const CrashState &c : crashes) {
+        s.putB(c.crashLogged);
+        s.putB(c.restartLogged);
+    }
+}
+
+void
+FaultInjector::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    curRound = d.getU();
+    dropped = d.getU();
+    corrupted = d.getU();
+    delayed = d.getU();
+    uint64_t n = d.getU();
+    if (n != links.size()) {
+        err.add(csprintf("fault link count: live %zu != snapshot %llu",
+                         links.size(), (unsigned long long)n));
+        return;
+    }
+    for (LinkState &l : links) {
+        expectEq(err, "fault link channel", (uint64_t)l.channel,
+                 d.getU());
+        restoreRandom(d, l.rng);
+        l.carry.clear();
+        uint64_t m = d.getU();
+        for (uint64_t i = 0; i < m && d.ok(); ++i) {
+            Cycles at = d.getU();
+            l.carry.emplace_back(at, restoreFlit(d));
+        }
+        l.lastCycle = d.getU();
+        l.haveLast = d.getB();
+    }
+    n = d.getU();
+    if (n != ports.size()) {
+        err.add(csprintf("fault port count: live %zu != snapshot %llu",
+                         ports.size(), (unsigned long long)n));
+        return;
+    }
+    for (PortState &p : ports) {
+        p.downApplied = d.getB();
+        p.upApplied = d.getB();
+    }
+    n = d.getU();
+    if (n != crashes.size()) {
+        err.add(csprintf("fault crash count: live %zu != snapshot %llu",
+                         crashes.size(), (unsigned long long)n));
+        return;
+    }
+    for (CrashState &c : crashes) {
+        c.crashLogged = d.getB();
+        c.restartLogged = d.getB();
+    }
+    if (!d.ok())
+        err.add("fault injector: " + d.error());
 }
 
 } // namespace firesim

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Cluster snapshot assembly plus the crash-recovery run loop and
+ * warm-boot forking declared in checkpoint.hh.
+ */
+
+#include "manager/checkpoint.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "manager/cluster.hh"
+#include "snapshot/snapshot.hh"
+
+namespace firesim
+{
+
+std::string
+stripHostTimingStats(std::string json)
+{
+    const std::string key = "\"cluster.shard.";
+    size_t at;
+    while ((at = json.find(key)) != std::string::npos) {
+        size_t next = json.find(", \"", at);
+        if (next != std::string::npos) {
+            json.erase(at, next + 2 - at);
+        } else {
+            // Last entry: drop the separator in front of it instead.
+            size_t stop = json.find('}', at);
+            if (stop == std::string::npos)
+                stop = json.size();
+            size_t begin = json.rfind(", ", at);
+            begin = begin == std::string::npos ? at : begin;
+            json.erase(begin, stop - begin);
+        }
+    }
+    return json;
+}
+
+// ---- Cluster snapshot assembly --------------------------------------
+
+uint64_t
+Cluster::topoHash() const
+{
+    return ShardPlan::build(topo, cfg.shard.shards, cfg.linkLatency,
+                            cfg.switchLatency, cfg.functionalWindow)
+        .topoHash;
+}
+
+std::string
+Cluster::saveSnapshot(const std::string &path)
+{
+    if (path.empty())
+        return "saveSnapshot: empty path";
+    if (fabric_.now() % fabric_.quantum() != 0)
+        return csprintf("saveSnapshot at cycle %llu: not a round "
+                        "barrier (quantum %llu)",
+                        (unsigned long long)fabric_.now(),
+                        (unsigned long long)fabric_.quantum());
+
+    SnapshotHeader hdr;
+    hdr.topoHash = topoHash();
+    hdr.shards = cfg.shard.shards;
+    hdr.rank = cfg.shard.rank;
+    hdr.round = fabric_.round();
+    hdr.cycle = fabric_.now();
+    SnapshotWriter w(hdr);
+
+    auto add = [&w](const std::string &name, const auto &component) {
+        Serializer s;
+        component.snapshotSave(s);
+        w.addSection(name, s.takeBytes());
+    };
+
+    add("fabric", fabric_);
+    for (size_t i = 0; i < switches.size(); ++i)
+        add(csprintf("switch%zu", i), *switches[i]);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        add(csprintf("blade%zu", i), nodes[i]->blade());
+        add(csprintf("os%zu", i), nodes[i]->os());
+        add(csprintf("net%zu", i), nodes[i]->net());
+    }
+    if (injector_)
+        add("fault", *injector_);
+    if (monitor_)
+        add("health", *monitor_);
+    if (telemetry_) {
+        if (telemetry_->sampler())
+            add("autocounter", *telemetry_->sampler());
+        // The full registry dump rides along purely for verification:
+        // a restored run must read back the exact same values. The
+        // cluster.shard.* transport subtree is host-timing-dependent
+        // (recv() chunk boundaries), so it is filtered out.
+        w.addSection("stats",
+                     stripHostTimingStats(
+                         telemetry_->registry().dumpJson(fabric_.now())));
+    }
+
+    return w.writeFile(
+        snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank));
+}
+
+std::string
+Cluster::loadSnapshot(const std::string &path)
+{
+    SnapshotReader r;
+    std::string file =
+        snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
+    std::string e = r.open(file);
+    if (!e.empty())
+        return e;
+
+    const SnapshotHeader &h = r.header();
+    if (h.topoHash != topoHash())
+        return csprintf("%s: topology/timing hash %016llx does not "
+                        "match this cluster (%016llx) — different "
+                        "topology, latencies, or shard plan",
+                        file.c_str(), (unsigned long long)h.topoHash,
+                        (unsigned long long)topoHash());
+    if (h.shards != cfg.shard.shards || h.rank != cfg.shard.rank)
+        return csprintf("%s: written by rank %llu of %llu, this "
+                        "cluster is rank %u of %u", file.c_str(),
+                        (unsigned long long)h.rank,
+                        (unsigned long long)h.shards, cfg.shard.rank,
+                        cfg.shard.shards);
+    if (h.cycle != fabric_.now())
+        return csprintf("%s: snapshot at cycle %llu but cluster is at "
+                        "%llu — replay the run to the snapshot cycle "
+                        "before restoring", file.c_str(),
+                        (unsigned long long)h.cycle,
+                        (unsigned long long)fabric_.now());
+
+    SnapshotErrors err;
+    auto restore = [&r, &err](const std::string &name,
+                              auto &component) {
+        std::string payload = r.section(name, err);
+        if (!err.ok())
+            return;
+        Deserializer d(std::move(payload));
+        component.snapshotRestore(d, err);
+        if (d.ok() && err.ok() && !d.atEnd())
+            err.add(csprintf("%s: %zu trailing bytes after restore",
+                             name.c_str(), d.remaining()));
+    };
+
+    restore("fabric", fabric_);
+    for (size_t i = 0; i < switches.size(); ++i)
+        restore(csprintf("switch%zu", i), *switches[i]);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        restore(csprintf("blade%zu", i), nodes[i]->blade());
+        restore(csprintf("os%zu", i), nodes[i]->os());
+        restore(csprintf("net%zu", i), nodes[i]->net());
+    }
+
+    if ((injector_ != nullptr) != r.hasSection("fault"))
+        err.add(injector_
+                    ? "cluster has a fault injector but the snapshot "
+                      "has no 'fault' section"
+                    : "snapshot has a 'fault' section but no injector "
+                      "is attached — call injectFaults first");
+    else if (injector_)
+        restore("fault", *injector_);
+
+    if ((monitor_ != nullptr) != r.hasSection("health"))
+        err.add(monitor_
+                    ? "cluster has a health monitor but the snapshot "
+                      "has no 'health' section"
+                    : "snapshot has a 'health' section but no monitor "
+                      "is attached — call health() first");
+    else if (monitor_)
+        restore("health", *monitor_);
+
+    bool haveSampler = telemetry_ && telemetry_->sampler();
+    if (haveSampler != r.hasSection("autocounter"))
+        err.add(haveSampler
+                    ? "cluster samples AutoCounters but the snapshot "
+                      "has no 'autocounter' section"
+                    : "snapshot has an 'autocounter' section but this "
+                      "cluster has no sampler configured");
+    else if (haveSampler)
+        restore("autocounter", *telemetry_->sampler());
+
+    // Final byte-identity check: with every counter applied, the stat
+    // dump must reproduce the saved one exactly. Skipped when the
+    // wall-clock scheduler stats are enabled — those legitimately
+    // vary run to run (see TelemetryConfig::schedStats).
+    if (telemetry_ && !cfg.telemetry.schedStats &&
+        r.hasSection("stats") && err.ok()) {
+        // Both sides filtered: older files may predate the filter.
+        std::string saved =
+            stripHostTimingStats(r.section("stats", err));
+        std::string live = stripHostTimingStats(
+            telemetry_->registry().dumpJson(h.cycle));
+        if (err.ok() && saved != live) {
+            size_t at = 0;
+            size_t lim = std::min(saved.size(), live.size());
+            while (at < lim && saved[at] == live[at])
+                ++at;
+            err.add(csprintf("stats dump diverges from snapshot at "
+                             "byte %zu (snapshot %zu bytes, live %zu)",
+                             at, saved.size(), live.size()));
+        }
+    }
+
+    return err.str();
+}
+
+// ---- Signal plumbing ------------------------------------------------
+
+namespace
+{
+
+volatile std::sig_atomic_t g_termSignal = 0;
+
+void
+onTermSignal(int)
+{
+    g_termSignal = 1;
+}
+
+} // namespace
+
+void
+CheckpointManager::installSignalHandlers()
+{
+    // No SA_RESTART: a blocked poll/read should wake so the run loop
+    // reaches the next barrier promptly (the socket layer retries
+    // EINTR with its remaining-deadline bookkeeping).
+    struct sigaction sa = {};
+    sa.sa_handler = onTermSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool
+CheckpointManager::signalPending()
+{
+    return g_termSignal != 0;
+}
+
+void
+CheckpointManager::clearSignal()
+{
+    g_termSignal = 0;
+}
+
+// ---- CheckpointManager ----------------------------------------------
+
+CheckpointManager::CheckpointManager(Cluster &cluster,
+                                     CheckpointOptions opts)
+    : clu(cluster), opt(std::move(opts))
+{
+    if (opt.everyRounds && opt.path.empty())
+        fatal("checkpoint-every set but no checkpoint path given");
+}
+
+std::string
+CheckpointManager::writeCheckpoint()
+{
+    std::string e = clu.saveSnapshot(opt.path);
+    if (e.empty()) {
+        ++written;
+        if (opt.verbose)
+            warn("checkpoint %llu written to %s at cycle %llu",
+                 (unsigned long long)written, opt.path.c_str(),
+                 (unsigned long long)clu.now());
+    } else {
+        warn("checkpoint failed: %s", e.c_str());
+    }
+    return e;
+}
+
+bool
+CheckpointManager::run(Cycles cycles)
+{
+    Cycles quantum = clu.fabric().quantum();
+    // Poll the signal flag at checkpoint granularity, or every 64
+    // rounds when periodic checkpointing is off — cheap either way.
+    Cycles chunk =
+        (opt.everyRounds ? opt.everyRounds : 64) * quantum;
+    Cycles done = 0;
+    while (done < cycles) {
+        if (signalPending()) {
+            interrupted_ = true;
+            if (opt.finalOnSignal && !opt.path.empty())
+                writeCheckpoint();
+            if (clu.telemetry())
+                clu.telemetry()->dumpAtExit(clu.now());
+            return false;
+        }
+        Cycles step = std::min(cycles - done, chunk);
+        clu.run(step);
+        done += step;
+        if (opt.everyRounds && step == chunk && done < cycles)
+            writeCheckpoint();
+    }
+    return true;
+}
+
+// ---- Convenience wrappers -------------------------------------------
+
+bool
+snapshotExists(const Cluster &cluster, const std::string &path)
+{
+    const ClusterConfig &cfg = cluster.config();
+    std::string file =
+        snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
+    return ::access(file.c_str(), F_OK) == 0;
+}
+
+std::string
+resumeFromSnapshot(Cluster &cluster, const std::string &path)
+{
+    const ClusterConfig &cfg = cluster.config();
+    SnapshotReader r;
+    std::string file =
+        snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
+    std::string e = r.open(file);
+    if (!e.empty())
+        return e;
+    Cycles target = r.header().cycle;
+    if (cluster.now() > target)
+        return csprintf("%s: snapshot at cycle %llu but the cluster "
+                        "has already run to %llu — resume needs a "
+                        "freshly built cluster",
+                        file.c_str(), (unsigned long long)target,
+                        (unsigned long long)cluster.now());
+    if (cluster.now() < target)
+        cluster.run(target - cluster.now());
+    return cluster.loadSnapshot(path);
+}
+
+bool
+runWithCheckpoints(Cluster &cluster, Cycles cycles,
+                   const std::string &path, uint64_t every_rounds,
+                   bool verbose)
+{
+    CheckpointManager::installSignalHandlers();
+    CheckpointOptions opts;
+    opts.path = path;
+    opts.everyRounds = every_rounds;
+    opts.verbose = verbose;
+    CheckpointManager mgr(cluster, opts);
+    return mgr.run(cycles);
+}
+
+// ---- Warm-boot scenario forking -------------------------------------
+
+std::vector<int>
+runScenarioForks(Cluster &cluster, uint32_t forks,
+                 const std::function<int(uint32_t)> &scenario)
+{
+    const ClusterConfig &cfg = cluster.config();
+    if (cfg.shard.shards > 1)
+        fatal("warm-boot forking needs single-process mode (peer "
+              "shard sockets cannot be shared across forks)");
+    if (cfg.parallelHosts != 1)
+        fatal("warm-boot forking needs parallelHosts == 1 (fork only "
+              "carries the calling thread)");
+
+    std::vector<pid_t> pids;
+    pids.reserve(forks);
+    for (uint32_t k = 0; k < forks; ++k) {
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", strerror(errno));
+        if (pid == 0) {
+            // The child inherits the booted cluster byte-for-byte.
+            // _exit skips destructors so the parent keeps sole
+            // ownership of telemetry dumps and shared fds.
+            int rc = scenario(k);
+            ::_exit(rc & 0xff);
+        }
+        pids.push_back(pid);
+    }
+
+    std::vector<int> results;
+    results.reserve(forks);
+    for (pid_t pid : pids) {
+        int status = 0;
+        pid_t got;
+        do {
+            got = ::waitpid(pid, &status, 0);
+        } while (got < 0 && errno == EINTR);
+        if (got < 0)
+            fatal("waitpid(%d): %s", (int)pid, strerror(errno));
+        if (WIFEXITED(status))
+            results.push_back(WEXITSTATUS(status));
+        else
+            results.push_back(128 + WTERMSIG(status));
+    }
+    return results;
+}
+
+} // namespace firesim

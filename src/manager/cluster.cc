@@ -277,6 +277,7 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
     topts.host = ss.connectHost;
     topts.basePort = ss.basePort;
     topts.recvTimeoutMs = ss.recvTimeoutMs;
+    topts.connectTimeoutMs = ss.connectTimeoutMs;
     topts.failFast = ss.failFast;
     transport_ =
         peer_fds.empty()

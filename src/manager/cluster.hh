@@ -232,6 +232,35 @@ class Cluster
     /** The IP assigned to server index @p i. */
     static Ip ipFor(size_t i);
 
+    // ---- Checkpoint / restore (manager/checkpoint.cc) ----------------
+
+    /**
+     * Topology/timing hash this cluster's snapshots are keyed by —
+     * the same ShardPlan hash the distributed transport exchanges in
+     * its Hello handshake.
+     */
+    uint64_t topoHash() const;
+
+    /**
+     * Write a versioned snapshot of the whole cluster to @p path
+     * (sharded runs write `<path>.rank<N>`; see snapshotRankPath).
+     * Must be called at a round barrier, i.e. between run() calls.
+     * Atomic: tmp + fsync + rename. Returns "" on success, else a
+     * diagnostic.
+     */
+    std::string saveSnapshot(const std::string &path);
+
+    /**
+     * Restore from a snapshot written by an identically configured
+     * cluster. The caller must first replay this cluster to the
+     * snapshot's cycle (coroutine frames and event closures are
+     * rebuilt by deterministic replay; see README "Checkpoint &
+     * recovery") — data-plane state is then applied and control-plane
+     * digests verified, so any divergence from the saved run is
+     * reported, never silently continued from. Returns "" on success.
+     */
+    std::string loadSnapshot(const std::string &path);
+
   private:
     /** Recursively instantiate switches/nodes below @p spec; returns
      *  the index of the switch built for @p spec. */

@@ -47,6 +47,9 @@ struct ShardSpec
     uint16_t basePort = 0;
     /** Max wall-clock to wait on one peer per round barrier. */
     int recvTimeoutMs = 10000;
+    /** Wall-clock cap on the rendezvous connect loop
+     *  (--shard-connect-timeout); 0 = attempt-bounded only. */
+    int connectTimeoutMs = 0;
     /** Abort instead of degrading when a peer shard is lost. */
     bool failFast = false;
 };

@@ -27,6 +27,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 struct CacheConfig
 {
     std::string name = "cache";
@@ -78,6 +82,11 @@ class Cache
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
 
+    /** Serialize tag state (valid/dirty/tag/lru per line), the LRU
+     *  clock and the counters; geometry is verified on restore. */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
+
   private:
     struct Line
     {
@@ -124,6 +133,10 @@ class MemHierarchy
      */
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    /** Serialize every level (dram, l2, per-core l1i/l1d) in order. */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     DramModel dram_;

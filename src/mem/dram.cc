@@ -1,6 +1,7 @@
 #include "mem/dram.hh"
 
 #include "base/logging.hh"
+#include "snapshot/state_io.hh"
 
 namespace firesim
 {
@@ -70,6 +71,47 @@ DramModel::access(uint64_t addr, bool is_write, Cycles now)
     Cycles data_done = column_at + cfg.tCl + cfg.tBurst;
     bank.readyAt = column_at + cfg.tBurst; // next column may pipeline
     return cfg.frontendLatency + (data_done - now);
+}
+
+void
+DramModel::snapshotSave(Serializer &s) const
+{
+    s.putU(banks.size());
+    for (const Bank &b : banks) {
+        s.putB(b.rowOpen);
+        s.putU(b.openRow);
+        s.putU(b.readyAt);
+        s.putU(b.activatedAt);
+    }
+    saveCounter(s, stats_.reads);
+    saveCounter(s, stats_.writes);
+    saveCounter(s, stats_.rowHits);
+    saveCounter(s, stats_.rowMisses);
+    saveCounter(s, stats_.rowConflicts);
+}
+
+void
+DramModel::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    uint64_t n = d.getU();
+    if (n != banks.size()) {
+        err.add(csprintf("dram bank count: live %zu != snapshot %llu",
+                         banks.size(), (unsigned long long)n));
+        return;
+    }
+    for (Bank &b : banks) {
+        b.rowOpen = d.getB();
+        b.openRow = d.getU();
+        b.readyAt = d.getU();
+        b.activatedAt = d.getU();
+    }
+    restoreCounter(d, stats_.reads);
+    restoreCounter(d, stats_.writes);
+    restoreCounter(d, stats_.rowHits);
+    restoreCounter(d, stats_.rowMisses);
+    restoreCounter(d, stats_.rowConflicts);
+    if (!d.ok())
+        err.add("dram: " + d.error());
 }
 
 } // namespace firesim

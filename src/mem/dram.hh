@@ -23,6 +23,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** DDR3-1600 style parameters in CPU-clock cycles at 3.2 GHz
  *  (1 DRAM clock @ 800 MHz = 4 CPU cycles). */
 struct DramConfig
@@ -80,6 +84,10 @@ class DramModel
     {
         return cfg.frontendLatency + cfg.tRcd + cfg.tCl + cfg.tBurst;
     }
+
+    /** Serialize per-bank row state and the counters. */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     struct Bank

@@ -1,6 +1,9 @@
 #include "mem/functional_memory.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "snapshot/serial.hh"
 
 namespace firesim
 {
@@ -116,6 +119,42 @@ void
 FunctionalMemory::write8(uint64_t addr, uint8_t value)
 {
     write(addr, &value, 1);
+}
+
+void
+FunctionalMemory::snapshotSave(Serializer &s) const
+{
+    s.putU(capacity);
+    std::vector<uint64_t> indices;
+    indices.reserve(pages.size());
+    for (const auto &[idx, page] : pages)
+        indices.push_back(idx);
+    std::sort(indices.begin(), indices.end());
+    s.putU(indices.size());
+    for (uint64_t idx : indices) {
+        s.putU(idx);
+        s.putBytes(pages.at(idx).get(), kPageBytes);
+    }
+}
+
+void
+FunctionalMemory::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    expectEq(err, "memory capacity", capacity, d.getU());
+    uint64_t count = d.getU();
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> restored;
+    for (uint64_t i = 0; i < count && d.ok(); ++i) {
+        uint64_t idx = d.getU();
+        auto page = std::make_unique<uint8_t[]>(kPageBytes);
+        if (!d.getBytesInto(page.get(), kPageBytes))
+            break;
+        restored.emplace(idx, std::move(page));
+    }
+    if (!d.ok()) {
+        err.add("memory pages: " + d.error());
+        return;
+    }
+    pages = std::move(restored);
 }
 
 } // namespace firesim

@@ -22,6 +22,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** Byte-addressable sparse memory with 4 KiB backing pages. */
 class FunctionalMemory
 {
@@ -56,6 +60,15 @@ class FunctionalMemory
 
     /** Number of lazily allocated backing pages (for tests). */
     size_t allocatedPages() const { return pages.size(); }
+
+    /**
+     * Serialize only the allocated (dirty) pages, sorted by page
+     * index — untouched memory reads as zero and costs nothing in the
+     * snapshot. Restore drops all current pages and rebuilds exactly
+     * the saved set.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     uint8_t *pageFor(uint64_t addr, bool allocate) const;

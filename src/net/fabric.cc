@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "net/token_io.hh"
+#include "snapshot/serial.hh"
+
 namespace firesim
 {
 
@@ -778,6 +781,93 @@ TokenFabric::run(Cycles cycles)
         ++roundCount;
     }
     running = false;
+}
+
+// ---- Checkpoint support -------------------------------------------------
+
+void
+TokenChannel::snapshotSave(Serializer &s) const
+{
+    s.putU(lat);
+    s.putU(quant);
+    s.putU(nextPushStart);
+    s.putU(nextPopStart);
+    s.putU(used);
+    for (size_t i = 0; i < used; ++i)
+        saveBatch(s, slots[(head + i) % slots.size()]);
+}
+
+void
+TokenChannel::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    expectEq(err, "channel " + lbl + " latency", (uint64_t)lat, d.getU());
+    expectEq(err, "channel " + lbl + " quantum", (uint64_t)quant,
+             d.getU());
+    Cycles pushStart = d.getU();
+    Cycles popStart = d.getU();
+    uint64_t n = d.getU();
+    std::vector<TokenBatch> batches;
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        batches.push_back(restoreBatch(d));
+    if (!d.ok()) {
+        err.add("channel " + lbl + ": " + d.error());
+        return;
+    }
+    nextPushStart = pushStart;
+    nextPopStart = popStart;
+    head = 0;
+    used = batches.size();
+    if (slots.size() < used)
+        slots.resize(used + 2);
+    for (size_t i = 0; i < slots.size(); ++i)
+        slots[i] = i < used ? std::move(batches[i]) : TokenBatch{};
+}
+
+void
+TokenFabric::snapshotSave(Serializer &s) const
+{
+    FS_ASSERT(finalized, "fabric snapshot requires finalize()");
+    FS_ASSERT(curCycle % quant == 0,
+              "fabric snapshot must happen at a round boundary");
+    s.putU(quant);
+    s.putU(curCycle);
+    s.putU(roundCount);
+    s.putU(batchCount);
+    s.putU(endpoints.size());
+    s.putU(channels.size());
+    for (const auto &chan : channels)
+        chan->snapshotSave(s);
+}
+
+void
+TokenFabric::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    if (!finalized) {
+        err.add("fabric restore requires finalize()");
+        return;
+    }
+    expectEq(err, "fabric quantum", (uint64_t)quant, d.getU());
+    Cycles cycle = d.getU();
+    uint64_t rounds = d.getU();
+    uint64_t batches = d.getU();
+    expectEq(err, "fabric endpoint count", (uint64_t)endpoints.size(),
+             d.getU());
+    uint64_t chanCount = d.getU();
+    if (chanCount != channels.size()) {
+        err.add(csprintf("fabric channel count: live %zu != snapshot "
+                         "%llu — different topology or shard plan",
+                         channels.size(), (unsigned long long)chanCount));
+        return;
+    }
+    for (auto &chan : channels)
+        chan->snapshotRestore(d, err);
+    if (!d.ok()) {
+        err.add(d.error());
+        return;
+    }
+    curCycle = cycle;
+    roundCount = rounds;
+    batchCount = batches;
 }
 
 } // namespace firesim

@@ -73,6 +73,9 @@ namespace firesim
 {
 
 class TokenFabric;
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
 
 /** One direction of a simulated link. */
 class TokenChannel
@@ -142,6 +145,15 @@ class TokenChannel
     {
         return static_cast<size_t>(lat / quant);
     }
+
+    /**
+     * Serialize the channel's full mid-flight state: latency/quantum
+     * (verified on restore), both stream cursors, and every buffered
+     * batch's flits. Restore rebuilds the ring byte-identically, so a
+     * restored channel pops the exact batches the saved one would.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     /** Append to the ring, growing only if it is full (never in the
@@ -595,6 +607,16 @@ class TokenFabric
      * not change (decoupled determinism); property tests rely on this.
      */
     void setStepOrder(std::vector<size_t> order);
+
+    /**
+     * Serialize the fabric's round state: cycle/round/batch counters,
+     * the quantum (verified on restore), and every channel's
+     * mid-flight contents in construction order. Requires finalize()
+     * and a round boundary (now() a multiple of quantum). Restore
+     * verifies the wiring shape and rebuilds every channel.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     struct Link

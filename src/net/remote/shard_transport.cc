@@ -68,7 +68,7 @@ ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
         peer.sock = tcpConnectRetry(
             opts.host, static_cast<uint16_t>(opts.basePort + q),
             opts.connectAttempts, opts.connectBackoffMs,
-            opts.backoffCapMs);
+            opts.backoffCapMs, opts.connectTimeoutMs);
         if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
             fatal("shard %u: hello send to rank %u failed", opts.rank, q);
         peer.stats.bytesTx += hello.size();

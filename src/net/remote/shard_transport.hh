@@ -65,6 +65,9 @@ class ShardTransport : public RemoteRoundHook
         int connectAttempts = 100;
         int connectBackoffMs = 10;
         int backoffCapMs = 500;
+        /** Wall-clock cap on the whole rendezvous connect loop
+         *  (--shard-connect-timeout); 0 = attempt-bounded only. */
+        int connectTimeoutMs = 0;
         /** Max wall-clock to wait on one peer in a round barrier. */
         int recvTimeoutMs = 10000;
         /** Abort instead of degrading when a peer is lost. */

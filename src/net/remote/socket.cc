@@ -99,25 +99,74 @@ tcpAccept(const SocketFd &listener, int timeout_ms)
 
 SocketFd
 tcpConnectRetry(const std::string &host, uint16_t port, int attempts,
-                int backoff_ms, int backoff_cap_ms)
+                int backoff_ms, int backoff_cap_ms,
+                int overall_timeout_ms)
 {
+    using Clock = std::chrono::steady_clock;
     sockaddr_in addr = resolveV4(host, port);
     int delay = backoff_ms > 0 ? backoff_ms : 1;
+    Clock::time_point deadline =
+        overall_timeout_ms > 0
+            ? Clock::now() + std::chrono::milliseconds(overall_timeout_ms)
+            : Clock::time_point::max();
+    // Deterministic jitter (splitmix-style hash of host/port/attempt):
+    // keeps retries reproducible per rank while decorrelating the N
+    // shards that all lost the race to one still-booting listener.
+    uint64_t jseed = port;
+    for (char c : host)
+        jseed = jseed * 131 + static_cast<unsigned char>(c);
     for (int attempt = 0; attempt < attempts; ++attempt) {
         if (attempt > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay));
+            uint64_t z = jseed + 0x9e3779b97f4a7c15ull * attempt;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            int jitter =
+                static_cast<int>((z >> 33) % (delay / 4 + 1));
+            auto sleep_ms = std::chrono::milliseconds(delay + jitter);
+            if (overall_timeout_ms > 0) {
+                auto left = deadline - Clock::now();
+                if (left <= Clock::duration::zero())
+                    fatal("shard transport: connect to %s:%u timed out "
+                          "after %d ms (%d attempts made)",
+                          host.c_str(), port, overall_timeout_ms,
+                          attempt);
+                sleep_ms = std::min(
+                    sleep_ms,
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        left) +
+                        std::chrono::milliseconds(1));
+            }
+            std::this_thread::sleep_for(sleep_ms);
             delay = std::min(delay * 2, std::max(backoff_cap_ms, 1));
         }
         int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0)
             fatal("shard transport: socket(): %s", std::strerror(errno));
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) == 0) {
+        int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr));
+        if (rc < 0 && errno == EINTR) {
+            // Interrupted connect may still complete asynchronously;
+            // wait for writability and check SO_ERROR instead of
+            // tearing it down and burning an attempt.
+            pollfd pfd{fd, POLLOUT, 0};
+            while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+            }
+            int soerr = 0;
+            socklen_t slen = sizeof(soerr);
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) ==
+                    0 &&
+                soerr == 0)
+                rc = 0;
+        }
+        if (rc == 0) {
             setNoDelay(fd);
             return SocketFd(fd);
         }
         ::close(fd);
+        if (overall_timeout_ms > 0 && Clock::now() >= deadline)
+            fatal("shard transport: connect to %s:%u timed out after "
+                  "%d ms (%d attempts made)",
+                  host.c_str(), port, overall_timeout_ms, attempt + 1);
     }
     fatal("shard transport: connect to %s:%u failed after %d attempts "
           "(bounded backoff exhausted)",
@@ -162,12 +211,32 @@ sendAll(int fd, const void *buf, size_t len)
 int
 pollIn(int fd, int timeout_ms)
 {
+    using Clock = std::chrono::steady_clock;
+    // Restart after EINTR with the *remaining* time, not the full
+    // timeout — otherwise a steady signal stream (periodic checkpoint
+    // SIGTERMs, profiler SIGPROFs) pushes the deadline out forever.
+    Clock::time_point deadline =
+        timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(
+                                             timeout_ms)
+                        : Clock::time_point::max();
     pollfd pfd{fd, POLLIN, 0};
+    int wait = timeout_ms;
     while (true) {
-        int r = ::poll(&pfd, 1, timeout_ms);
+        int r = ::poll(&pfd, 1, wait);
         if (r < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR) {
+                if (timeout_ms >= 0) {
+                    auto left = deadline - Clock::now();
+                    if (left <= Clock::duration::zero())
+                        return 0;
+                    wait = static_cast<int>(
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(left)
+                            .count() +
+                        1);
+                }
                 continue;
+            }
             return -1;
         }
         if (r == 0)

@@ -86,12 +86,18 @@ SocketFd tcpAccept(const SocketFd &listener, int timeout_ms);
  * Connect to @p host:@p port, retrying up to @p attempts times with
  * exponential backoff from @p backoff_ms (doubling, capped at
  * @p backoff_cap_ms) — shard processes race to their rendezvous, so a
- * refused connection usually means the listener is not up *yet*.
- * fatal() when the attempts are exhausted (bounded: never hangs).
+ * refused connection usually means the listener is not up *yet*. Each
+ * sleep gets deterministic per-attempt jitter (up to 25%, seeded from
+ * host/port/attempt) so N shards hammering one listener don't retry in
+ * lock-step. @p overall_timeout_ms > 0 adds a wall-clock cap on the
+ * whole retry loop (--shard-connect-timeout); 0 leaves it purely
+ * attempt-bounded. fatal() when either bound is exhausted — the
+ * message says which (never hangs).
  */
 SocketFd tcpConnectRetry(const std::string &host, uint16_t port,
                          int attempts, int backoff_ms,
-                         int backoff_cap_ms = 500);
+                         int backoff_cap_ms = 500,
+                         int overall_timeout_ms = 0);
 
 /**
  * Same-host fast path: a connected AF_UNIX stream pair (no TCP stack,
@@ -110,7 +116,9 @@ bool sendAll(int fd, const void *buf, size_t len);
 
 /**
  * Wait until @p fd is readable: 1 ready, 0 timeout, -1 error/hangup
- * with nothing left to read. @p timeout_ms -1 waits forever.
+ * with nothing left to read. @p timeout_ms -1 waits forever. EINTR
+ * restarts against the *remaining* time (a signal storm cannot extend
+ * the deadline), so SIGTERM-driven checkpoint stops stay prompt.
  */
 int pollIn(int fd, int timeout_ms);
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "net/token_io.hh"
+#include "snapshot/state_io.hh"
+
 namespace firesim
 {
 
@@ -271,6 +274,119 @@ Nic::registerStats(StatRegistry &registry, const std::string &prefix) const
                              stats_.bytesReceived);
     registry.registerCounter(prefix + ".interruptsRaised",
                              stats_.interruptsRaised);
+}
+
+void
+Nic::snapshotSave(Serializer &s) const
+{
+    s.putU(macAddr.value);
+    // Controller queues.
+    s.putU(sendReq.size());
+    for (const SendRequest &r : sendReq) {
+        s.putU(r.addr);
+        s.putU(r.len);
+    }
+    s.putU(recvReq.size());
+    for (uint64_t addr : recvReq)
+        s.putU(addr);
+    s.putU(sendComp.size());
+    for (uint8_t c : sendComp)
+        s.putU(c);
+    s.putU(recvComp.size());
+    for (const RecvCompletion &c : recvComp) {
+        s.putU(c.addr);
+        s.putU(c.len);
+    }
+    // Send path.
+    s.putB(readerBusy);
+    s.putU(reservationOccupied);
+    s.putU(txReady.size());
+    for (const TxPacket &p : txReady)
+        saveFrame(s, p.frame);
+    s.putU(txOutbox.size());
+    for (const auto &[at, flit] : txOutbox) {
+        s.putU(at);
+        saveFlit(s, flit);
+    }
+    s.putB(txPumpScheduled);
+    s.putU(txCursor);
+    s.putU(bucket);
+    s.putU(lastRefill);
+    // Receive path.
+    saveAssembler(s, rxAssembler);
+    s.putU(rxBufOccupied);
+    s.putU(rxBuffer.size());
+    for (const RxPacket &p : rxBuffer)
+        saveFrame(s, p.frame);
+    s.putB(writerBusy);
+    // Counters.
+    saveCounter(s, stats_.framesSent);
+    saveCounter(s, stats_.framesReceived);
+    saveCounter(s, stats_.framesDroppedRx);
+    saveCounter(s, stats_.bytesSent);
+    saveCounter(s, stats_.bytesReceived);
+    saveCounter(s, stats_.interruptsRaised);
+}
+
+void
+Nic::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    expectEq(err, cfg.name + " mac", macAddr.value, d.getU());
+    sendReq.clear();
+    uint64_t n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+        SendRequest r;
+        r.addr = d.getU();
+        r.len = static_cast<uint32_t>(d.getU());
+        sendReq.push_back(r);
+    }
+    recvReq.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        recvReq.push_back(d.getU());
+    sendComp.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        sendComp.push_back(static_cast<uint8_t>(d.getU()));
+    recvComp.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+        RecvCompletion c;
+        c.addr = d.getU();
+        c.len = static_cast<uint32_t>(d.getU());
+        recvComp.push_back(c);
+    }
+    readerBusy = d.getB();
+    reservationOccupied = static_cast<uint32_t>(d.getU());
+    txReady.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        txReady.push_back(TxPacket{restoreFrame(d)});
+    txOutbox.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+        Cycles at = d.getU();
+        txOutbox.emplace_back(at, restoreFlit(d));
+    }
+    txPumpScheduled = d.getB();
+    txCursor = d.getU();
+    bucket = d.getU();
+    lastRefill = d.getU();
+    restoreAssembler(d, rxAssembler);
+    rxBufOccupied = static_cast<uint32_t>(d.getU());
+    rxBuffer.clear();
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        rxBuffer.push_back(RxPacket{restoreFrame(d)});
+    writerBusy = d.getB();
+    restoreCounter(d, stats_.framesSent);
+    restoreCounter(d, stats_.framesReceived);
+    restoreCounter(d, stats_.framesDroppedRx);
+    restoreCounter(d, stats_.bytesSent);
+    restoreCounter(d, stats_.bytesReceived);
+    restoreCounter(d, stats_.interruptsRaised);
+    if (!d.ok())
+        err.add(cfg.name + ": " + d.error());
 }
 
 } // namespace firesim

@@ -48,6 +48,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** NIC build/runtime parameters. */
 struct NicConfig
 {
@@ -162,6 +166,16 @@ class Nic
      * run its event queue up to the window end.
      */
     void drainTx(Cycles window_start, TokenBatch &out);
+
+    /**
+     * Serialize all controller queues, both DMA paths mid-transfer
+     * (tx outbox flits, partial rx frame, token bucket), and the
+     * counters. Event-queue closures (reader/writer/tx pumps) are not
+     * in the section — the owning blade's schedule digest verifies
+     * them; data restore + deterministic replay rebuilds them.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     struct SendRequest

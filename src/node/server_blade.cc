@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/serial.hh"
+
 namespace firesim
 {
 
@@ -59,6 +61,32 @@ ServerBlade::registerStats(StatRegistry &registry,
                              b.sectorsMoved);
     registry.registerCounter(prefix + ".blockdev.interruptsRaised",
                              b.interruptsRaised);
+}
+
+void
+ServerBlade::snapshotSave(Serializer &s) const
+{
+    s.putU(eq.now());
+    s.putU(eq.scheduledTotal());
+    s.putFixed64(eq.scheduleDigest());
+    mem.snapshotSave(s);
+    nicDev->snapshotSave(s);
+    blkDev->snapshotSave(s);
+}
+
+void
+ServerBlade::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    const std::string &n = cfg.name;
+    expectEq(err, n + " eq.now", (uint64_t)eq.now(), d.getU());
+    expectEq(err, n + " eq.scheduled", eq.scheduledTotal(), d.getU());
+    expectEq(err, n + " eq.digest", eq.scheduleDigest(),
+             d.getFixed64());
+    mem.snapshotRestore(d, err);
+    nicDev->snapshotRestore(d, err);
+    blkDev->snapshotRestore(d, err);
+    if (!d.ok())
+        err.add(n + ": " + d.error());
 }
 
 } // namespace firesim

@@ -33,6 +33,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** Table I server blade configuration. */
 struct BladeConfig
 {
@@ -82,6 +86,17 @@ class ServerBlade : public TokenEndpoint
     Nic &nic() { return *nicDev; }
     BlockDevice &blockDevice() { return *blkDev; }
     TargetClock clock() const { return TargetClock(cfg.freqGhz); }
+
+    /**
+     * Serialize the blade: DRAM, NIC, block device (applied on
+     * restore), plus the event queue's clock and schedule digest.
+     * Pending events are closures and cannot be serialized — restore
+     * VERIFIES the digest against the live (replay-rebuilt) queue, so
+     * any divergence in the schedule is caught rather than silently
+     * continued from.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     BladeConfig cfg;

@@ -39,6 +39,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** IPv4-style address, host byte order. */
 using Ip = uint32_t;
 
@@ -194,6 +198,16 @@ class NetStack
     SimOS &os() { return sys; }
     const NetConfig &config() const { return cfg; }
     const NetStackStats &stats() const { return stats_; }
+
+    /**
+     * Serialize counters and protocol cursors (applied on restore)
+     * plus the configuration-derived tables — ARP, bound ports, ping
+     * waiters, hardware fast paths — which restore VERIFIES against
+     * the live (replay-rebuilt) state, since sockets and ping records
+     * live inside application coroutine frames.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     friend class UdpSocket;

@@ -1,6 +1,7 @@
 #include "riscv/core.hh"
 
 #include "base/logging.hh"
+#include "snapshot/serial.hh"
 
 namespace firesim
 {
@@ -538,6 +539,60 @@ mapStandardDevices(MmioBus &bus, RocketCore &core)
             core.haltRequest(value);
         },
         "tohost");
+}
+
+void
+RocketCore::snapshotSave(Serializer &s) const
+{
+    s.putU(cfg.hartId);
+    for (uint64_t r : x)
+        s.putU(r);
+    s.putU(pcReg);
+    s.putB(isHalted);
+    s.putU(tohostValue);
+    s.putU(issueAccum);
+    s.putStr(uartOut);
+    s.putU(stats_.instret);
+    s.putU(stats_.cycles);
+    s.putU(stats_.loads);
+    s.putU(stats_.stores);
+    s.putU(stats_.branches);
+    s.putU(stats_.takenBranches);
+    s.putU(stats_.mmioAccesses);
+}
+
+void
+RocketCore::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    expectEq(err, "core hartId", (uint64_t)cfg.hartId, d.getU());
+    uint64_t regs[32];
+    for (auto &r : regs)
+        r = d.getU();
+    uint64_t pc = d.getU();
+    bool halted_ = d.getB();
+    uint64_t tohost = d.getU();
+    uint32_t accum = static_cast<uint32_t>(d.getU());
+    std::string console = d.getStr();
+    CoreStats st;
+    st.instret = d.getU();
+    st.cycles = d.getU();
+    st.loads = d.getU();
+    st.stores = d.getU();
+    st.branches = d.getU();
+    st.takenBranches = d.getU();
+    st.mmioAccesses = d.getU();
+    if (!d.ok()) {
+        err.add("core: " + d.error());
+        return;
+    }
+    for (int i = 0; i < 32; ++i)
+        x[i] = regs[i];
+    pcReg = pc;
+    isHalted = halted_;
+    tohostValue = tohost;
+    issueAccum = accum;
+    uartOut = std::move(console);
+    stats_ = st;
 }
 
 } // namespace firesim

@@ -40,6 +40,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** Memory-mapped device region dispatch. */
 class MmioBus
 {
@@ -214,6 +218,16 @@ class RocketCore
      */
     void registerStats(StatRegistry &registry,
                        const std::string &prefix) const;
+
+    /**
+     * Serialize the full architectural + timing state: registers, pc,
+     * halt/tohost, console output, issue accumulator and counters.
+     * Backing memory and the cache hierarchy are snapshotted by their
+     * owners. A restored core continues instruction-for-instruction
+     * identical to the saved one.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     uint64_t loadData(uint64_t addr, uint32_t size, bool sign_extend);

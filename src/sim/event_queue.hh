@@ -15,6 +15,7 @@
 #ifndef FIRESIM_SIM_EVENT_QUEUE_HH
 #define FIRESIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -112,6 +113,47 @@ class EventQueue
         return heap.empty() ? kNoCycle : heap.top().when;
     }
 
+    /** Total events ever scheduled (the tie-break counter). */
+    uint64_t scheduledTotal() const { return nextSeq; }
+
+    /**
+     * FNV-1a hash of the pending schedule's sorted (when, seq) pairs.
+     * Closures cannot be serialized, but their schedule can: two
+     * queues with equal digests, equal now() and equal
+     * scheduledTotal() will replay identically if the closures were
+     * built by the same deterministic construction — which is what
+     * snapshot restore verifies.
+     */
+    uint64_t
+    scheduleDigest() const
+    {
+        struct Peek : HeapType
+        {
+            static const std::vector<Entry> &
+            container(const HeapType &q)
+            {
+                return q.*(&Peek::c);
+            }
+        };
+        std::vector<std::pair<Cycles, uint64_t>> sched;
+        sched.reserve(heap.size());
+        for (const Entry &e : Peek::container(heap))
+            sched.emplace_back(e.when, e.seq);
+        std::sort(sched.begin(), sched.end());
+        uint64_t h = 0xcbf29ce484222325ULL;
+        auto mix = [&h](uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+                h ^= (v >> (8 * i)) & 0xff;
+                h *= 0x100000001b3ULL;
+            }
+        };
+        for (const auto &[when, seq] : sched) {
+            mix(when);
+            mix(seq);
+        }
+        return h;
+    }
+
   private:
     struct Entry
     {
@@ -128,7 +170,10 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    using HeapType =
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+    HeapType heap;
     Cycles curCycle = 0;
     uint64_t nextSeq = 0;
 };

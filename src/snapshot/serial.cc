@@ -1,0 +1,40 @@
+#include "snapshot/serial.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+/** Lazily built reflected CRC32 table (polynomial 0xEDB88320). */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = [] {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        return true;
+    }();
+    (void)built;
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace firesim

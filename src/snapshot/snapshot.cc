@@ -1,0 +1,204 @@
+#include "snapshot/snapshot.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+void
+encodeHeader(Serializer &s, const SnapshotHeader &hdr)
+{
+    s.putFixed32(kSnapshotMagic);
+    s.putFixed32(hdr.version);
+    s.putFixed64(hdr.topoHash);
+    s.putU(hdr.shards);
+    s.putU(hdr.rank);
+    s.putU(hdr.round);
+    s.putU(hdr.cycle);
+}
+
+} // namespace
+
+std::string
+SnapshotWriter::encode() const
+{
+    Serializer body;
+    encodeHeader(body, hdr);
+    // Header CRC covers everything encoded so far.
+    body.putFixed32(crc32(body.bytes().data(), body.size()));
+    for (size_t i = 0; i < order.size(); ++i) {
+        body.putStr(order[i]);
+        body.putStr(payloads[i]);
+        body.putFixed32(
+            crc32(payloads[i].data(), payloads[i].size()));
+    }
+    return body.takeBytes();
+}
+
+std::string
+SnapshotWriter::writeFile(const std::string &path) const
+{
+    std::string image = encode();
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return csprintf("snapshot: cannot create %s: %s", tmp.c_str(),
+                        strerror(errno));
+    }
+    size_t off = 0;
+    while (off < image.size()) {
+        ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int e = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return csprintf("snapshot: write to %s failed: %s",
+                            tmp.c_str(), strerror(e));
+        }
+        off += static_cast<size_t>(n);
+    }
+    // fsync before rename: the rename must not become visible before
+    // the data is durable, or a crash could leave a valid-looking
+    // file with garbage contents.
+    if (::fsync(fd) != 0) {
+        int e = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return csprintf("snapshot: fsync %s failed: %s", tmp.c_str(),
+                        strerror(e));
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return csprintf("snapshot: close %s failed: %s", tmp.c_str(),
+                        strerror(errno));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int e = errno;
+        ::unlink(tmp.c_str());
+        return csprintf("snapshot: rename %s -> %s failed: %s",
+                        tmp.c_str(), path.c_str(), strerror(e));
+    }
+    return {};
+}
+
+std::string
+SnapshotReader::open(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return csprintf("snapshot: cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return csprintf("snapshot: read error on %s", path.c_str());
+    std::string err = parse(ss.str());
+    if (!err.empty())
+        return csprintf("%s (in %s)", err.c_str(), path.c_str());
+    return {};
+}
+
+std::string
+SnapshotReader::parse(std::string image)
+{
+    names.clear();
+    sections.clear();
+
+    Deserializer d(std::move(image));
+    uint32_t magic = d.getFixed32();
+    if (!d.ok())
+        return "snapshot: file truncated before magic";
+    if (magic != kSnapshotMagic) {
+        return csprintf("snapshot: bad magic 0x%08x (not a FireSim "
+                        "snapshot)", magic);
+    }
+    hdr.version = d.getFixed32();
+    if (hdr.version != kSnapshotVersion) {
+        return csprintf("snapshot: format version %u unsupported "
+                        "(this build reads version %u)",
+                        hdr.version, kSnapshotVersion);
+    }
+    hdr.topoHash = d.getFixed64();
+    hdr.shards = d.getU();
+    hdr.rank = d.getU();
+    hdr.round = d.getU();
+    hdr.cycle = d.getU();
+    uint32_t storedHdrCrc = d.getFixed32();
+    if (!d.ok())
+        return csprintf("snapshot: truncated header: %s",
+                        d.error().c_str());
+    // Re-encode the header fields we just read and CRC them; this is
+    // equivalent to CRCing the raw header bytes because the encoding
+    // is canonical.
+    Serializer hs;
+    encodeHeader(hs, hdr);
+    uint32_t wantHdrCrc = crc32(hs.bytes().data(), hs.size());
+    if (storedHdrCrc != wantHdrCrc) {
+        return csprintf("snapshot: header CRC mismatch (stored "
+                        "0x%08x, computed 0x%08x) — corrupt header",
+                        storedHdrCrc, wantHdrCrc);
+    }
+
+    while (!d.atEnd()) {
+        std::string name = d.getStr();
+        std::string payload = d.getStr();
+        uint32_t storedCrc = d.getFixed32();
+        if (!d.ok())
+            return csprintf("snapshot: truncated section table: %s",
+                            d.error().c_str());
+        uint32_t want = crc32(payload.data(), payload.size());
+        if (storedCrc != want) {
+            return csprintf("snapshot: CRC mismatch in section '%s' "
+                            "(stored 0x%08x, computed 0x%08x) — "
+                            "corrupt payload",
+                            name.c_str(), storedCrc, want);
+        }
+        if (sections.count(name)) {
+            return csprintf("snapshot: duplicate section '%s'",
+                            name.c_str());
+        }
+        names.push_back(name);
+        sections.emplace(std::move(name), std::move(payload));
+    }
+    return {};
+}
+
+bool
+SnapshotReader::hasSection(const std::string &name) const
+{
+    return sections.count(name) != 0;
+}
+
+std::string
+SnapshotReader::section(const std::string &name, SnapshotErrors &err) const
+{
+    auto it = sections.find(name);
+    if (it == sections.end()) {
+        err.add(csprintf("snapshot: missing section '%s'", name.c_str()));
+        return {};
+    }
+    return it->second;
+}
+
+std::string
+snapshotRankPath(const std::string &path, uint64_t shards, uint64_t rank)
+{
+    if (shards <= 1)
+        return path;
+    return csprintf("%s.rank%llu", path.c_str(),
+                    (unsigned long long)rank);
+}
+
+} // namespace firesim

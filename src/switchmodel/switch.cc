@@ -1,6 +1,10 @@
 #include "switchmodel/switch.hh"
 
+#include <algorithm>
 #include <cstring>
+
+#include "net/token_io.hh"
+#include "snapshot/state_io.hh"
 
 namespace firesim
 {
@@ -330,6 +334,128 @@ Switch::registerStats(StatRegistry &registry,
                              stats_.faultPacketsDroppedOut);
     registry.registerCounter(prefix + ".portTransitions",
                              stats_.portTransitions);
+}
+
+// ---- Checkpoint support ---------------------------------------------
+
+void
+Switch::snapshotSave(Serializer &s) const
+{
+    auto savePacket = [&s](const QueuedPacket &p) {
+        saveFrame(s, p.frame);
+        s.putU(p.release);
+        s.putU(p.seq);
+    };
+
+    s.putU(cfg.ports);
+    s.putU(macTable.size());
+    for (const auto &[mac, port] : macTable) {
+        s.putU(mac);
+        s.putU(port);
+    }
+    for (uint32_t p = 0; p < cfg.ports; ++p)
+        s.putB(portDown_[p]);
+    for (const FrameAssembler &a : assemblers)
+        saveAssembler(s, a);
+
+    // The pending heap in canonical (release, seq) order: the physical
+    // heap layout depends on insertion history, but the comparator is a
+    // total order, so a heap rebuilt from the sorted sequence pops
+    // identically.
+    std::vector<QueuedPacket> pend(pqUnderlying(pending));
+    std::sort(pend.begin(), pend.end(),
+              [](const QueuedPacket &a, const QueuedPacket &b) {
+                  if (a.release != b.release)
+                      return a.release < b.release;
+                  return a.seq < b.seq;
+              });
+    s.putU(pend.size());
+    for (const QueuedPacket &p : pend)
+        savePacket(p);
+
+    for (const OutputPort &out : outputs) {
+        s.putU(out.queue.size());
+        for (const QueuedPacket &p : out.queue)
+            savePacket(p);
+        s.putB(out.active.has_value());
+        if (out.active) {
+            savePacket(*out.active);
+            s.putU(out.activePos);
+        }
+        s.putU(out.cursor);
+    }
+
+    s.putU(nextSeq);
+    s.putU(bytesOutSinceQuery);
+    saveCounter(s, stats_.packetsIn);
+    saveCounter(s, stats_.packetsOut);
+    saveCounter(s, stats_.packetsDropped);
+    saveCounter(s, stats_.bytesIn);
+    saveCounter(s, stats_.bytesOut);
+    saveCounter(s, stats_.broadcasts);
+    saveCounter(s, stats_.faultFlitsDroppedIn);
+    saveCounter(s, stats_.faultPacketsDroppedOut);
+    saveCounter(s, stats_.portTransitions);
+}
+
+void
+Switch::snapshotRestore(Deserializer &d, SnapshotErrors &err)
+{
+    expectEq(err, cfg.name + " ports", (uint64_t)cfg.ports, d.getU());
+    if (!err.ok())
+        return;
+
+    auto readPacket = [&d]() {
+        QueuedPacket p;
+        p.frame = restoreFrame(d);
+        p.release = d.getU();
+        p.seq = d.getU();
+        return p;
+    };
+
+    macTable.clear();
+    uint64_t n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+        uint64_t mac = d.getU();
+        macTable[mac] = static_cast<uint32_t>(d.getU());
+    }
+    for (uint32_t p = 0; p < cfg.ports; ++p)
+        portDown_[p] = d.getB();
+    for (FrameAssembler &a : assemblers)
+        restoreAssembler(d, a);
+
+    pending = {};
+    n = d.getU();
+    for (uint64_t i = 0; i < n && d.ok(); ++i)
+        pending.push(readPacket());
+
+    for (OutputPort &out : outputs) {
+        out.queue.clear();
+        n = d.getU();
+        for (uint64_t i = 0; i < n && d.ok(); ++i)
+            out.queue.push_back(readPacket());
+        out.active.reset();
+        out.activePos = 0;
+        if (d.getB()) {
+            out.active = readPacket();
+            out.activePos = d.getU();
+        }
+        out.cursor = d.getU();
+    }
+
+    nextSeq = d.getU();
+    bytesOutSinceQuery = d.getU();
+    restoreCounter(d, stats_.packetsIn);
+    restoreCounter(d, stats_.packetsOut);
+    restoreCounter(d, stats_.packetsDropped);
+    restoreCounter(d, stats_.bytesIn);
+    restoreCounter(d, stats_.bytesOut);
+    restoreCounter(d, stats_.broadcasts);
+    restoreCounter(d, stats_.faultFlitsDroppedIn);
+    restoreCounter(d, stats_.faultPacketsDroppedOut);
+    restoreCounter(d, stats_.portTransitions);
+    if (!d.ok())
+        err.add(cfg.name + ": " + d.error());
 }
 
 } // namespace firesim

@@ -42,6 +42,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 /** Runtime-configurable switch parameters (no resynthesis needed). */
 struct SwitchConfig
 {
@@ -155,6 +159,17 @@ class Switch : public TokenEndpoint
      * bandwidth-over-time experiments (Figure 6).
      */
     uint64_t takeBytesOutDelta();
+
+    /**
+     * Serialize the full inter-round state: MAC table, port admin
+     * state, per-port partial frames, the pending priority queue,
+     * every output port (queue, active packet, link cursor), sequence
+     * counter, and counters. sliceScratch is intra-round scratch and
+     * is excluded — snapshots happen at round barriers where it is
+     * clear.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   protected:
     /** A packet waiting in an output port queue. */

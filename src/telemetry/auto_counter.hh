@@ -27,6 +27,10 @@
 namespace firesim
 {
 
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
+
 class AutoCounterSampler : public FabricObserver
 {
   public:
@@ -70,6 +74,14 @@ class AutoCounterSampler : public FabricObserver
 
     /** JSON: {"period": N, "columns": [...], "samples": [[at, v...]]}. */
     std::string json() const;
+
+    /**
+     * Serialize the accumulated series (columns + samples) and the
+     * next-sample cursor, so csv()/json() from a restored run are
+     * byte-identical to an unbroken run's.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     const StatRegistry &reg;

@@ -32,6 +32,9 @@ namespace firesim
 {
 
 class ThreadPool;
+class Serializer;
+class Deserializer;
+struct SnapshotErrors;
 
 /** Coarse committed-instruction classification (TracerV groups). */
 enum class OpClass : uint8_t
@@ -130,6 +133,15 @@ class InstructionTrace
     /** Read a file written by writeCompressed(). */
     static std::vector<TraceRecord> readCompressed(
         const std::string &path);
+
+    /**
+     * Serialize the retained records in logical (commit) order plus
+     * the lifetime counters. Restore lays the records back from slot 0
+     * — the physical ring offset is not observable through drain() or
+     * encodeCompressed(), so the restored trace behaves identically.
+     */
+    void snapshotSave(Serializer &s) const;
+    void snapshotRestore(Deserializer &d, SnapshotErrors &err);
 
   private:
     std::vector<TraceRecord> ring;
