@@ -1,24 +1,30 @@
 /**
  * @file
- * Telemetry overhead: the out-of-band instrumentation must be free
- * when off and cheap when on.
+ * Telemetry + observability overhead: the out-of-band instrumentation
+ * must be free when off and cheap when on.
  *
  * Workload: a 2-node ping cluster exchanging ICMP echoes for a fixed
- * stretch of target time. Three measurements:
+ * stretch of target time. Four measurements:
  *
  *  1. telemetry off, repeated trials — the trial-to-trial spread bounds
  *     the disabled-path cost: with TelemetryConfig::enabled false the
  *     Cluster allocates nothing and attaches no fabric observers, so
  *     the tick loop is byte-for-byte the pre-telemetry path and any
  *     difference is measurement noise (<2% required);
- *  2. full telemetry (registry + AutoCounter sampler + host profiler),
- *     reported as overhead versus the off-mode median;
- *  3. the instrumented run writes its Chrome trace next to the binary
+ *  2. live monitoring on (heartbeat every 8192 rounds by default, or
+ *     --heartbeat-every, plus the flight recorder) with telemetry
+ *     itself off — the observability plane's round-loop cost, required
+ *     under 1% (or under the measurement floor when the floor itself
+ *     exceeds 1%);
+ *  3. full telemetry (registry + AutoCounter sampler + host profiler),
+ *     reported as overhead versus the off-mode best;
+ *  4. the instrumented run writes its Chrome trace next to the binary
  *     (telemetry_trace.json) — load it in chrome://tracing or Perfetto
  *     to see fabric-round / switch-tick / blade-tick spans.
  *
- * Both modes assert target-side parity: identical final cycle and NIC
- * counters, the observability contract the tests pin down.
+ * All modes assert target-side parity: identical final cycle and NIC
+ * counters, the observability contract the tests pin down. Results
+ * land in BENCH_telemetry.json for trend tracking.
  */
 
 #include <algorithm>
@@ -35,20 +41,46 @@ using namespace firesim;
 namespace
 {
 
+/** The heartbeat trial's cadence: --heartbeat-every, or one per 8192
+ *  rounds (sub-second wall intervals at realistic sim rates). */
+uint64_t
+heartbeatCadence()
+{
+    return bench::heartbeatEveryRef() ? bench::heartbeatEveryRef()
+                                      : 8192;
+}
+
+enum class Mode
+{
+    Off,       //!< no telemetry, no monitor — the baseline path
+    Heartbeat, //!< monitor + flight recorder on, telemetry off
+    Full,      //!< registry + sampler + profiler
+};
+
 struct TrialResult
 {
     double seconds = 0.0;
     Cycles finalCycle = 0;
     uint64_t framesSent = 0;
     uint64_t echoes = 0;
+    uint64_t heartbeats = 0;
 };
 
 TrialResult
-runTrial(bool telemetry_on, double target_us, const std::string &trace_path)
+runTrial(Mode mode, double target_us, const std::string &trace_path)
 {
     ClusterConfig cc; // default 2 us links: realistic round quantum
     bench::applyClusterFlags(cc);
-    if (telemetry_on) {
+    // The trial modes own the observability knobs; whatever the
+    // command line set is measured only through its own mode.
+    cc.monitor = MonitorConfig{};
+    cc.flightRecorder = FlightRecorderConfig{};
+    if (mode == Mode::Heartbeat) {
+        cc.monitor.heartbeatEvery = heartbeatCadence();
+        cc.monitor.heartbeatPath = "telemetry_heartbeat.jsonl";
+        cc.flightRecorder.enabled = true;
+    }
+    if (mode == Mode::Full) {
         cc.telemetry.enabled = true;
         cc.telemetry.samplePeriod = 100000;
         cc.telemetry.hostProfile = true;
@@ -70,10 +102,37 @@ runTrial(bool telemetry_on, double target_us, const std::string &trace_path)
     r.finalCycle = cluster.now();
     r.framesSent = n0.blade().nic().stats().framesSent.value();
     r.echoes = cluster.node(1).net().stats().icmpEchoed.value();
+    if (cluster.clusterMonitor())
+        r.heartbeats = cluster.clusterMonitor()->heartbeats();
 
-    if (telemetry_on && !trace_path.empty())
+    if (mode == Mode::Full && !trace_path.empty())
         cluster.telemetry()->traceSink().writeJson(trace_path);
     return r;
+}
+
+void
+writeBenchJson(const char *path, double off_best, double hb_best,
+               double on_best, double off_spread, double hb_overhead,
+               double on_overhead, const TrialResult &hb_last)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        warn("could not open %s for writing", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"telemetry_overhead\",\n");
+    std::fprintf(f, "  \"workload\": \"2-node-ping\",\n");
+    std::fprintf(f, "  \"off_best_s\": %.6g,\n", off_best);
+    std::fprintf(f, "  \"heartbeat_best_s\": %.6g,\n", hb_best);
+    std::fprintf(f, "  \"full_best_s\": %.6g,\n", on_best);
+    std::fprintf(f, "  \"off_spread_pct\": %.3f,\n", off_spread);
+    std::fprintf(f, "  \"heartbeat_overhead_pct\": %.3f,\n", hb_overhead);
+    std::fprintf(f, "  \"full_overhead_pct\": %.3f,\n", on_overhead);
+    std::fprintf(f, "  \"heartbeats\": %llu\n",
+                 (unsigned long long)hb_last.heartbeats);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
 }
 
 } // namespace
@@ -91,7 +150,7 @@ main(int argc, char **argv)
     const int trials = bench::fullScale() ? 9 : 5;
 
     // Warm-up (page in code and allocator state before timing).
-    runTrial(false, target_us / 4, "");
+    runTrial(Mode::Off, target_us / 4, "");
 
     // The disabled path is the pre-telemetry path (no observers, no
     // allocations), so "overhead when off" is measured by timing the
@@ -99,17 +158,20 @@ main(int argc, char **argv)
     // comparing the best of each: any difference is the measurement
     // floor. The best-of-N comparison is the standard trick for timing
     // identical code under scheduler noise.
-    std::vector<double> off_a, off_b;
-    TrialResult off_last;
-    for (int t = 0; t < 2 * trials; ++t) {
-        off_last = runTrial(false, target_us, "");
-        (t % 2 ? off_b : off_a).push_back(off_last.seconds);
-    }
-
-    std::vector<double> on_times;
-    TrialResult on_last;
+    // Trials are interleaved Off/Off/Heartbeat/Full so slow host-load
+    // drift (frequency scaling, a noisy neighbor mid-bench) lands on
+    // every mode alike instead of skewing whichever mode ran last —
+    // best-of-N only cancels noise that is symmetric across modes.
+    std::vector<double> off_a, off_b, hb_times, on_times;
+    TrialResult off_last, hb_last, on_last;
     for (int t = 0; t < trials; ++t) {
-        on_last = runTrial(true, target_us,
+        off_last = runTrial(Mode::Off, target_us, "");
+        off_a.push_back(off_last.seconds);
+        off_last = runTrial(Mode::Off, target_us, "");
+        off_b.push_back(off_last.seconds);
+        hb_last = runTrial(Mode::Heartbeat, target_us, "");
+        hb_times.push_back(hb_last.seconds);
+        on_last = runTrial(Mode::Full, target_us,
                            t == 0 ? "telemetry_trace.json" : "");
         on_times.push_back(on_last.seconds);
     }
@@ -117,9 +179,11 @@ main(int argc, char **argv)
     double off_best_a = *std::min_element(off_a.begin(), off_a.end());
     double off_best_b = *std::min_element(off_b.begin(), off_b.end());
     double off_best = std::min(off_best_a, off_best_b);
+    double hb_best = *std::min_element(hb_times.begin(), hb_times.end());
     double on_best = *std::min_element(on_times.begin(), on_times.end());
     double off_spread =
         std::abs(off_best_a - off_best_b) / off_best * 100.0;
+    double hb_overhead = (hb_best / off_best - 1.0) * 100.0;
     double on_overhead = (on_best / off_best - 1.0) * 100.0;
 
     Table t({"Mode", "Best host s", "Target cycles", "Echoes", "vs off"});
@@ -130,6 +194,10 @@ main(int argc, char **argv)
               Table::fmt(static_cast<double>(off_last.finalCycle), 0),
               Table::fmt(static_cast<double>(off_last.echoes), 0),
               Table::fmt(off_spread, 2) + "%"});
+    t.addRow({"heartbeat monitor", Table::fmt(hb_best, 4),
+              Table::fmt(static_cast<double>(hb_last.finalCycle), 0),
+              Table::fmt(static_cast<double>(hb_last.echoes), 0),
+              Table::fmt(hb_overhead, 2) + "%"});
     t.addRow({"full telemetry", Table::fmt(on_best, 4),
               Table::fmt(static_cast<double>(on_last.finalCycle), 0),
               Table::fmt(static_cast<double>(on_last.echoes), 0),
@@ -138,21 +206,35 @@ main(int argc, char **argv)
 
     std::printf("Disabled-path check: off-vs-off best-of-%d differ by "
                 "%.2f%% (<2%% required)\n", trials, off_spread);
+    std::printf("Heartbeat-monitor overhead: %.2f%% with a heartbeat "
+                "every %llu rounds (%llu heartbeats; <1%% required)\n",
+                hb_overhead, (unsigned long long)heartbeatCadence(),
+                (unsigned long long)hb_last.heartbeats);
     std::printf("Enabled-mode overhead: %.1f%% (AutoCounter every 100k "
                 "cycles + a host span per round/advance)\n", on_overhead);
 
     bool parity = off_last.finalCycle == on_last.finalCycle &&
                   off_last.framesSent == on_last.framesSent &&
-                  off_last.echoes == on_last.echoes;
-    std::printf("Target parity on vs off: %s (cycle %llu, %llu frames, "
-                "%llu echoes)\n", parity ? "EXACT" : "BROKEN",
+                  off_last.echoes == on_last.echoes &&
+                  hb_last.finalCycle == off_last.finalCycle &&
+                  hb_last.framesSent == off_last.framesSent &&
+                  hb_last.echoes == off_last.echoes;
+    std::printf("Target parity across modes: %s (cycle %llu, %llu "
+                "frames, %llu echoes)\n", parity ? "EXACT" : "BROKEN",
                 (unsigned long long)on_last.finalCycle,
                 (unsigned long long)on_last.framesSent,
                 (unsigned long long)on_last.echoes);
     std::printf("Chrome trace written to telemetry_trace.json "
                 "(chrome://tracing)\n");
 
-    bool pass = off_spread < 2.0 && parity;
+    writeBenchJson("BENCH_telemetry.json", off_best, hb_best, on_best,
+                   off_spread, hb_overhead, on_overhead, hb_last);
+
+    // The <1% heartbeat bar only means something when the measurement
+    // floor itself sits below it; on a noisy host, fall back to "no
+    // worse than timing two identical runs".
+    double hb_bar = std::max(1.0, off_spread);
+    bool pass = off_spread < 2.0 && hb_overhead < hb_bar && parity;
     if (!pass)
         std::printf("RESULT: FAIL\n");
     return pass ? 0 : 1;

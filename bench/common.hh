@@ -232,6 +232,49 @@ shardConnectTimeoutMsRef()
     return ms;
 }
 
+/** Heartbeat cadence in fabric rounds (--heartbeat-every); 0 = no
+ *  heartbeats (ClusterConfig::monitor.heartbeatEvery). */
+inline unsigned &
+heartbeatEveryRef()
+{
+    static unsigned every = 0;
+    return every;
+}
+
+/** Human status line every N wall seconds (--status-interval);
+ *  0 = off (ClusterConfig::monitor.statusIntervalSec). */
+inline unsigned &
+statusIntervalRef()
+{
+    static unsigned sec = 0;
+    return sec;
+}
+
+/** Prometheus text-exposition file, atomically refreshed on every
+ *  heartbeat (--metrics-file); empty = off. */
+inline std::string &
+metricsFileRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Crash flight recorder switch (--flight-recorder). */
+inline bool &
+flightRecorderRef()
+{
+    static bool on = false;
+    return on;
+}
+
+/** Flight recorder ring depth in events (--flight-recorder-depth). */
+inline unsigned &
+flightRecorderDepthRef()
+{
+    static unsigned depth = 256;
+    return depth;
+}
+
 /**
  * Cycles already covered by a --restore replay. The first
  * runClusterUs/runClusterCycles spans consume this credit instead of
@@ -307,6 +350,18 @@ parseSchedKnob(const char *what, const char *text)
  *   --restore=PATH           resume the first cluster this bench
  *                            builds from a snapshot
  *                            (env FIRESIM_RESTORE)
+ *   --heartbeat-every=N      emit a monitoring heartbeat every N
+ *                            fabric rounds (env FIRESIM_HEARTBEAT_EVERY;
+ *                            0 = off)
+ *   --status-interval=SEC    human-readable status line every SEC wall
+ *                            seconds (env FIRESIM_STATUS_INTERVAL)
+ *   --metrics-file=PATH      Prometheus text file, atomically refreshed
+ *                            on every heartbeat (env FIRESIM_METRICS_FILE)
+ *   --flight-recorder        enable the crash flight recorder
+ *                            (env FIRESIM_FLIGHT_RECORDER=1)
+ *   --flight-recorder-depth=N  flight recorder ring depth in events
+ *                            (env FIRESIM_FLIGHT_RECORDER_DEPTH;
+ *                            default 256)
  * Flags win over the environment. Malformed values are an error, not a
  * silent fallback. Unknown arguments are ignored so binaries stay
  * permissive. Results are bit-identical for every combination — only
@@ -339,6 +394,19 @@ parseCommonFlags(int argc, char **argv)
             parseUnsignedKnob("FIRESIM_CHECKPOINT_EVERY", env);
     if (const char *env = std::getenv("FIRESIM_RESTORE"))
         restorePathRef() = env;
+    if (const char *env = std::getenv("FIRESIM_HEARTBEAT_EVERY"))
+        heartbeatEveryRef() =
+            parseUnsignedKnob("FIRESIM_HEARTBEAT_EVERY", env);
+    if (const char *env = std::getenv("FIRESIM_STATUS_INTERVAL"))
+        statusIntervalRef() =
+            parseUnsignedKnob("FIRESIM_STATUS_INTERVAL", env);
+    if (const char *env = std::getenv("FIRESIM_METRICS_FILE"))
+        metricsFileRef() = env;
+    if (const char *env = std::getenv("FIRESIM_FLIGHT_RECORDER"))
+        flightRecorderRef() = env[0] == '1';
+    if (const char *env = std::getenv("FIRESIM_FLIGHT_RECORDER_DEPTH"))
+        flightRecorderDepthRef() =
+            parseUnsignedKnob("FIRESIM_FLIGHT_RECORDER_DEPTH", env);
 
     const std::string hosts_flag = "--parallel-hosts=";
     const std::string sched_flag = "--sched-policy=";
@@ -350,6 +418,11 @@ parseCommonFlags(int argc, char **argv)
     const std::string ckpt_flag = "--checkpoint=";
     const std::string ckpt_every_flag = "--checkpoint-every=";
     const std::string restore_flag = "--restore=";
+    const std::string hb_flag = "--heartbeat-every=";
+    const std::string status_flag = "--status-interval=";
+    const std::string metrics_flag = "--metrics-file=";
+    const std::string fr_flag = "--flight-recorder";
+    const std::string fr_depth_flag = "--flight-recorder-depth=";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind(hosts_flag, 0) == 0)
@@ -382,6 +455,20 @@ parseCommonFlags(int argc, char **argv)
                 arg.c_str() + ckpt_every_flag.size());
         else if (arg.rfind(restore_flag, 0) == 0)
             restorePathRef() = arg.substr(restore_flag.size());
+        else if (arg.rfind(hb_flag, 0) == 0)
+            heartbeatEveryRef() = parseUnsignedKnob(
+                "--heartbeat-every", arg.c_str() + hb_flag.size());
+        else if (arg.rfind(status_flag, 0) == 0)
+            statusIntervalRef() = parseUnsignedKnob(
+                "--status-interval", arg.c_str() + status_flag.size());
+        else if (arg.rfind(metrics_flag, 0) == 0)
+            metricsFileRef() = arg.substr(metrics_flag.size());
+        else if (arg.rfind(fr_depth_flag, 0) == 0)
+            flightRecorderDepthRef() = parseUnsignedKnob(
+                "--flight-recorder-depth",
+                arg.c_str() + fr_depth_flag.size());
+        else if (arg == fr_flag)
+            flightRecorderRef() = true;
     }
     if (parallelHostsRef() == 0)
         parallelHostsRef() = 1;
@@ -407,6 +494,12 @@ parseCommonFlags(int argc, char **argv)
         std::fprintf(stderr, "error: --checkpoint-every=%u needs "
                              "--checkpoint=PATH\n",
                      checkpointEveryRef());
+        std::exit(2);
+    }
+    if (flightRecorderDepthRef() == 0) {
+        std::fprintf(stderr,
+                     "error: --flight-recorder-depth must be at "
+                     "least 1\n");
         std::exit(2);
     }
     if (parallelHostsRef() > 1)
@@ -439,6 +532,12 @@ applyClusterFlags(ClusterConfigT &cc)
     cc.shard.basePort = static_cast<uint16_t>(shardBasePortRef());
     cc.shard.connectTimeoutMs =
         static_cast<int>(shardConnectTimeoutMsRef());
+    cc.monitor.heartbeatEvery = heartbeatEveryRef();
+    cc.monitor.statusIntervalSec = statusIntervalRef();
+    cc.monitor.metricsPath = metricsFileRef();
+    cc.flightRecorder.enabled = flightRecorderRef();
+    cc.flightRecorder.depth = flightRecorderDepthRef();
+    cc.flightRecorder.installSignalHandler = flightRecorderRef();
 }
 
 /**

@@ -26,6 +26,7 @@ faultKindName(FaultEvent::Kind kind)
       case FaultEvent::Kind::FlitCorrupt: return "flit-corrupt";
       case FaultEvent::Kind::FlitDelay: return "flit-delay";
       case FaultEvent::Kind::PeerShardLost: return "peer-shard-lost";
+      case FaultEvent::Kind::StragglerDetected: return "straggler-detected";
       case FaultEvent::Kind::kCount: break;
     }
     return "unknown";
@@ -68,6 +69,8 @@ HealthMonitor::record(FaultEvent event)
     ++counts[static_cast<size_t>(event.kind)];
     if (cfg.logEvents)
         warn("health: %s", event.str().c_str());
+    if (eventHook)
+        eventHook(event);
     if (log.size() < cfg.maxEvents)
         log.push_back(std::move(event));
 }

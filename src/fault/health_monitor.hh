@@ -25,7 +25,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/stats.hh"
@@ -57,6 +59,10 @@ struct FaultEvent
         FlitDelay,
         // Reported by the distributed shard transport (net/remote).
         PeerShardLost, //!< a peer shard process died or timed out
+        // Reported by the observability monitor (telemetry/monitor).
+        // Appended after PeerShardLost: kinds are serialized as
+        // integers in snapshots, so the order is part of the format.
+        StragglerDetected, //!< shard round latency >> cluster median
         kCount, //!< sentinel
     };
 
@@ -98,6 +104,14 @@ class HealthMonitor : public FabricObserver
 
     /** Record an event (also used by the FaultInjector). */
     void record(FaultEvent event);
+
+    /**
+     * Observe every record() as it happens (the flight recorder
+     * mirrors health transitions into its ring). One hook; runs on
+     * the recording thread before the event is logged.
+     */
+    using EventHookFn = std::function<void(const FaultEvent &)>;
+    void setEventHook(EventHookFn fn) { eventHook = std::move(fn); }
 
     const std::vector<FaultEvent> &events() const { return log; }
     /** Total events of @p kind recorded (not bounded by maxEvents). */
@@ -150,6 +164,7 @@ class HealthMonitor : public FabricObserver
 
     TokenFabric &fab;
     HealthConfig cfg;
+    EventHookFn eventHook;
     std::vector<FaultEvent> log;
     std::array<Counter, static_cast<size_t>(FaultEvent::Kind::kCount)>
         counts;

@@ -23,9 +23,33 @@ namespace firesim
 std::string
 stripHostTimingStats(std::string json)
 {
-    const std::string key = "\"cluster.shard.";
-    size_t at;
-    while ((at = json.find(key)) != std::string::npos) {
+    // Matches both the plain single-process name and the merged
+    // cross-shard dump's `rankN.`-prefixed one (telemetry/aggregate).
+    const std::string key = "cluster.shard.";
+    size_t from = 0;
+    size_t hit;
+    while ((hit = json.find(key, from)) != std::string::npos) {
+        // Only strip the key when it opens a JSON name: the previous
+        // quote directly precedes it, or does so through a `rankN.`
+        // merged-dump prefix.
+        size_t quote = json.rfind('"', hit);
+        bool opens = quote != std::string::npos && quote < hit;
+        if (opens) {
+            size_t i = quote + 1;
+            if (i + 4 <= hit && json.compare(i, 4, "rank") == 0) {
+                size_t d = i + 4;
+                while (d < hit && json[d] >= '0' && json[d] <= '9')
+                    ++d;
+                if (d > i + 4 && d < hit && json[d] == '.')
+                    i = d + 1;
+            }
+            opens = i == hit;
+        }
+        if (!opens) {
+            from = hit + key.size();
+            continue;
+        }
+        size_t at = quote;
         size_t next = json.find(", \"", at);
         if (next != std::string::npos) {
             json.erase(at, next + 2 - at);
@@ -38,6 +62,7 @@ stripHostTimingStats(std::string json)
             begin = begin == std::string::npos ? at : begin;
             json.erase(begin, stop - begin);
         }
+        from = 0;
     }
     return json;
 }
@@ -267,6 +292,15 @@ CheckpointManager::writeCheckpoint()
     std::string e = clu.saveSnapshot(opt.path);
     if (e.empty()) {
         ++written;
+        // Feed the observability plane: checkpoint age in heartbeats,
+        // a CheckpointWrite entry in any postmortem.
+        if (clu.clusterMonitor())
+            clu.clusterMonitor()->noteCheckpoint(clu.now());
+        if (clu.flightRecorder()) {
+            clu.flightRecorder()->record(
+                FlightRecorder::EventKind::CheckpointWrite,
+                clu.fabric().round(), clu.now(), opt.path.c_str());
+        }
         if (opt.verbose)
             warn("checkpoint %llu written to %s at cycle %llu",
                  (unsigned long long)written, opt.path.c_str(),
@@ -334,7 +368,16 @@ resumeFromSnapshot(Cluster &cluster, const std::string &path)
                         (unsigned long long)cluster.now());
     if (cluster.now() < target)
         cluster.run(target - cluster.now());
-    return cluster.loadSnapshot(path);
+    std::string verdict = cluster.loadSnapshot(path);
+    if (!verdict.empty() && cluster.flightRecorder()) {
+        // A diverged restore is a first-class postmortem trigger: the
+        // operator gets the last events leading up to the mismatch.
+        cluster.flightRecorder()->record(
+            FlightRecorder::EventKind::RestoreDiverged,
+            cluster.fabric().round(), cluster.now(), verdict.c_str());
+        cluster.flightRecorder()->dump("snapshot restore diverged");
+    }
+    return verdict;
 }
 
 bool

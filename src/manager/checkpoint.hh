@@ -94,7 +94,10 @@ class CheckpointManager
  * Strip host-timing-dependent entries (the `cluster.shard.*`
  * transport subtree — its byte counters depend on kernel recv()
  * chunk boundaries) from a StatRegistry::dumpJson string, leaving
- * only the deterministic simulation stats. Snapshot byte-identity
+ * only the deterministic simulation stats. Also recognizes the
+ * merged cross-shard dump's `rankN.cluster.shard.*` spelling
+ * (StatAggregator::mergedJson), so the distributed-vs-local parity
+ * tests compare through the same filter. Snapshot byte-identity
  * checks compare dumps through this filter.
  */
 std::string stripHostTimingStats(std::string json);

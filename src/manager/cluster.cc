@@ -1,6 +1,7 @@
 #include "manager/cluster.hh"
 
 #include "base/table.hh"
+#include "snapshot/snapshot.hh"
 
 namespace firesim
 {
@@ -111,6 +112,7 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config,
 
     if (cfg.telemetry.enabled)
         setupTelemetry();
+    setupObservability();
 
     for (auto &node : nodes)
         node->start();
@@ -279,6 +281,10 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
     topts.recvTimeoutMs = ss.recvTimeoutMs;
     topts.connectTimeoutMs = ss.connectTimeoutMs;
     topts.failFast = ss.failFast;
+    // Periodic telemetry piggyback (telemetry/aggregate): only useful
+    // when a telemetry bundle will exist to snapshot.
+    topts.statsEvery =
+        cfg.telemetry.enabled ? cfg.telemetry.aggregateEvery : 0;
     transport_ =
         peer_fds.empty()
             ? ShardTransport::rendezvousTcp(topts, plan.topoHash)
@@ -308,10 +314,20 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
                 "empty tokens",
                 peer);
             monitor_->record(std::move(ev));
+            // Peer loss is exactly what the flight recorder exists
+            // for: capture the event and dump the postmortem now,
+            // while this rank is still healthy enough to write it.
+            if (recorder_) {
+                recorder_->record(
+                    FlightRecorder::EventKind::PeerLoss, round, cycle,
+                    csprintf("peer shard %u lost", peer).c_str(), peer);
+                recorder_->dump(csprintf("peer shard %u lost", peer));
+            }
         });
 
     if (cfg.telemetry.enabled)
         setupTelemetry();
+    setupObservability();
 
     for (auto &node : nodes)
         node->start();
@@ -319,10 +335,29 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
 
 Cluster::~Cluster()
 {
+    // One last heartbeat so short runs (fewer rounds than the cadence)
+    // still leave a record, and long ones end on current numbers.
+    if (clusterMonitor_ && clusterMonitor_->config().heartbeatEvery != 0)
+        clusterMonitor_->emitHeartbeat(fabric_.now(), fabric_.round());
+
+    // Final cross-shard stats exchange, before Bye: the last round
+    // rarely lands on an aggregateEvery boundary, and the merged dump
+    // should reflect end-of-run values. Gated on dumpDir so runs that
+    // dump nothing keep the exact pre-observability shutdown sequence
+    // (every shard must share one config, so the gate is symmetric).
+    if (transport_ && telemetry_ && !cfg.telemetry.dumpDir.empty()) {
+        transport_->exchangeFinalStats(fabric_.round(), fabric_.now());
+        if (aggregator_)
+            aggregator_->accept(
+                localRankTelemetry(fabric_.round(), fabric_.now()));
+    }
+
     if (transport_)
         transport_->shutdown();
-    if (telemetry_)
+    if (telemetry_) {
         telemetry_->dumpAtExit(fabric_.now());
+        writeMergedDumps();
+    }
 }
 
 void
@@ -469,11 +504,160 @@ Cluster::setupTelemetry()
     }
 }
 
+void
+Cluster::setupObservability()
+{
+    const ShardSpec &ss = cfg.shard;
+    bool sharded = ss.shards > 1;
+
+    if (cfg.flightRecorder.enabled) {
+        FlightRecorderConfig fc = cfg.flightRecorder;
+        if (fc.path.empty())
+            fc.path = "flight-recorder.jsonl";
+        if (sharded)
+            fc.path = snapshotRankPath(fc.path, ss.shards, ss.rank);
+        recorder_ = std::make_unique<FlightRecorder>(fc);
+    }
+
+    if (cfg.monitor.enabled()) {
+        MonitorConfig mc = cfg.monitor;
+        mc.targetFreqGhz = cfg.freqGhz;
+        if (mc.heartbeatPath.empty())
+            mc.heartbeatPath = "heartbeat.jsonl";
+        if (sharded) {
+            mc.heartbeatPath =
+                snapshotRankPath(mc.heartbeatPath, ss.shards, ss.rank);
+            if (!mc.metricsPath.empty())
+                mc.metricsPath =
+                    snapshotRankPath(mc.metricsPath, ss.shards, ss.rank);
+        }
+        clusterMonitor_ = std::make_unique<ClusterMonitor>(
+            mc, ss.rank, sharded ? ss.shards : 1);
+        clusterMonitor_->setTransport(transport_.get());
+        clusterMonitor_->setFlightRecorder(recorder_.get());
+        clusterMonitor_->setHealthEventsProvider([this]() -> uint64_t {
+            return monitor_ ? monitor_->totalEvents() : 0;
+        });
+        clusterMonitor_->setStragglerSink(
+            [this](uint32_t rank, uint64_t latency_ns,
+                   uint64_t median_ns, uint64_t round, Cycles cycle) {
+                std::string what = csprintf(
+                    "rank %u round latency %llu ns exceeds %gx the "
+                    "cluster median %llu ns",
+                    rank, (unsigned long long)latency_ns,
+                    clusterMonitor_->config().stragglerFactor,
+                    (unsigned long long)median_ns);
+                // The HealthMonitor can only be raised through here
+                // when it is already attached (observers cannot attach
+                // mid-run); sharded builds attach it eagerly, and a
+                // single-process run has no peers to straggle behind.
+                if (monitor_) {
+                    FaultEvent ev;
+                    ev.kind = FaultEvent::Kind::StragglerDetected;
+                    ev.round = round;
+                    ev.cycle = cycle;
+                    ev.detail = what;
+                    monitor_->record(std::move(ev));
+                } else {
+                    warn("straggler: %s", what.c_str());
+                }
+                if (recorder_) {
+                    recorder_->record(
+                        FlightRecorder::EventKind::Straggler, round,
+                        cycle, csprintf("rank %u", rank).c_str(),
+                        latency_ns, median_ns);
+                }
+            });
+        fabric_.addObserver(clusterMonitor_.get());
+    }
+
+    wireHealthObservability();
+
+    if (transport_) {
+        if (clusterMonitor_) {
+            ClusterMonitor *cm = clusterMonitor_.get();
+            transport_->setRoundLatencyProvider(
+                [cm] { return cm->roundLatencyNs(); });
+        }
+        // Satellite of the failFast path: flush telemetry and the
+        // flight recorder before the transport's fatal() so an abort
+        // on peer loss never leaves empty dumps behind.
+        transport_->setFatalFlushHook([this] {
+            if (telemetry_)
+                telemetry_->dumpAtExit(fabric_.now());
+            if (recorder_)
+                recorder_->dump("peer shard lost (fail-fast)");
+        });
+        if (telemetry_ && !cfg.telemetry.dumpDir.empty()) {
+            if (ss.rank == 0) {
+                aggregator_ = std::make_unique<StatAggregator>();
+                StatAggregator *agg = aggregator_.get();
+                transport_->setStatsConsumer(
+                    [agg](uint32_t peer, const std::string &payload) {
+                        agg->acceptEncoded(peer, payload);
+                    });
+            } else {
+                transport_->setStatsProvider(
+                    [this](uint64_t round, Cycles cycle) {
+                        return encodeRankTelemetry(
+                            localRankTelemetry(round, cycle));
+                    });
+            }
+        }
+    }
+}
+
+void
+Cluster::wireHealthObservability()
+{
+    if (!monitor_ || !recorder_)
+        return;
+    FlightRecorder *fr = recorder_.get();
+    monitor_->setEventHook([fr](const FaultEvent &ev) {
+        fr->record(FlightRecorder::EventKind::HealthEvent, ev.round,
+                   ev.cycle, ev.detail.c_str(),
+                   static_cast<uint64_t>(ev.kind));
+    });
+}
+
+RankTelemetry
+Cluster::localRankTelemetry(uint64_t round, Cycles cycle)
+{
+    RankTelemetry rt;
+    rt.rank = cfg.shard.rank;
+    rt.round = round;
+    rt.cycle = cycle;
+    rt.stats = telemetry_->registry().snapshot(cycle);
+    rt.phases = telemetry_->simRate().phases();
+    return rt;
+}
+
+void
+Cluster::writeMergedDumps()
+{
+    if (!aggregator_ || cfg.telemetry.dumpDir.empty())
+        return;
+    std::string dir = cfg.telemetry.dumpDir + "/";
+    auto put = [&](const char *name, const std::string &bytes) {
+        std::string err =
+            atomicWriteFile(dir + name, bytes, "merged dump");
+        if (!err.empty())
+            warn("merged telemetry dump: %s", err.c_str());
+    };
+    put("merged_stats.json", aggregator_->mergedJson());
+    put("merged_stats.csv", aggregator_->mergedCsv());
+    put("merged_trace.json", aggregator_->mergedTraceJson());
+    inform("telemetry: merged dumps for %zu rank(s) written to %s",
+           aggregator_->rankCount(), cfg.telemetry.dumpDir.c_str());
+}
+
 HealthMonitor &
 Cluster::health()
 {
-    if (!monitor_)
+    if (!monitor_) {
         monitor_ = std::make_unique<HealthMonitor>(fabric_);
+        wireHealthObservability();
+    }
     return *monitor_;
 }
 
@@ -483,6 +667,7 @@ Cluster::health(const HealthConfig &config)
     if (monitor_)
         fatal("health monitor already attached; its config is fixed");
     monitor_ = std::make_unique<HealthMonitor>(fabric_, config);
+    wireHealthObservability();
     return *monitor_;
 }
 

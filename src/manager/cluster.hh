@@ -35,6 +35,9 @@
 #include "os/netstack.hh"
 #include "os/simos.hh"
 #include "switchmodel/switch.hh"
+#include "telemetry/aggregate.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/monitor.hh"
 #include "telemetry/telemetry.hh"
 
 namespace firesim
@@ -100,6 +103,19 @@ struct ClusterConfig
      * Cluster allocates nothing and attaches no observers.
      */
     TelemetryConfig telemetry;
+    /**
+     * Live observability (telemetry/monitor.hh): heartbeat JSONL,
+     * status lines, Prometheus metrics file, straggler detection. Off
+     * by default — with MonitorConfig::enabled() false the Cluster
+     * allocates no monitor and attaches no observer.
+     */
+    MonitorConfig monitor;
+    /**
+     * Crash flight recorder (telemetry/flight_recorder.hh): a ring of
+     * recent notable events dumped as a postmortem on fatal signals,
+     * peer loss, or restore divergence. Off by default.
+     */
+    FlightRecorderConfig flightRecorder;
     /**
      * Host threads advancing endpoints inside each fabric round — the
      * in-process analogue of the paper's one-blade-per-FPGA scale-out.
@@ -220,6 +236,17 @@ class Cluster
      */
     Telemetry *telemetry() { return telemetry_.get(); }
 
+    /** The live heartbeat monitor, or nullptr when
+     *  ClusterConfig::monitor was not enabled. */
+    ClusterMonitor *clusterMonitor() { return clusterMonitor_.get(); }
+
+    /** The crash flight recorder, or nullptr when not enabled. */
+    FlightRecorder *flightRecorder() { return recorder_.get(); }
+
+    /** Rank 0's cross-shard stat aggregator, or nullptr (non-zero
+     *  ranks, single-process mode, or telemetry off). */
+    StatAggregator *aggregator() { return aggregator_.get(); }
+
     /**
      * Post-run health report: fault/degradation events seen by the
      * monitor plus per-switch fault-drop counters. Reports a healthy
@@ -279,6 +306,21 @@ class Cluster
      *  and attach the configured fabric observers. */
     void setupTelemetry();
 
+    /** Build the observability plane — flight recorder, heartbeat
+     *  monitor, cross-shard aggregation hooks — per ClusterConfig.
+     *  Called by both build paths, after setupTelemetry(). */
+    void setupObservability();
+
+    /** Mirror HealthMonitor events into the flight recorder (called
+     *  whenever either side comes into existence). */
+    void wireHealthObservability();
+
+    /** This rank's point-in-time telemetry, as shipped to rank 0. */
+    RankTelemetry localRankTelemetry(uint64_t round, Cycles cycle);
+
+    /** Rank 0, dumpDir set: write the merged cross-shard dumps. */
+    void writeMergedDumps();
+
     SwitchSpec topo;
     ClusterConfig cfg;
     TokenFabric fabric_;
@@ -291,6 +333,12 @@ class Cluster
     // indices reachable through each downlink port.
     std::vector<const SwitchSpec *> switchSpecs;
     std::vector<std::vector<std::vector<size_t>>> switchPortServers;
+    // Observability plane. Order matters for destruction: the monitor
+    // holds a flight-recorder pointer, so the recorder is declared
+    // (and destroyed) after it... i.e. recorder first here.
+    std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<ClusterMonitor> clusterMonitor_;
+    std::unique_ptr<StatAggregator> aggregator_;
     // Declared last: the registry's probes read the components above,
     // so the telemetry bundle must be destroyed first.
     std::unique_ptr<Telemetry> telemetry_;

@@ -234,9 +234,16 @@ ShardTransport::peerLost(Peer &peer, uint64_t round, Cycles cycle,
 {
     if (!peer.stats.alive)
         return;
-    if (opts.failFast)
+    if (opts.failFast) {
+        // Record the loss and flush telemetry + flight recorder before
+        // aborting: a failFast death must still leave a postmortem.
+        if (lossFn)
+            lossFn(peer.rank, round, cycle);
+        if (fatalFlushFn)
+            fatalFlushFn();
         fatal("shard %u: lost peer shard %u at round %llu (%s)",
               opts.rank, peer.rank, (unsigned long long)round, why);
+    }
     warn("shard %u: lost peer shard %u at round %llu (%s); degrading "
          "its links to empty tokens",
          opts.rank, peer.rank, (unsigned long long)round, why);
@@ -297,6 +304,12 @@ ShardTransport::drainFrames(Peer &peer, uint64_t round,
                       (unsigned long long)round_start);
             peer.roundDone = true;
             ++peer.stats.roundsBarriered;
+            peer.stats.peerRoundNs = f.latencyNs;
+            break;
+          case FrameType::Stats:
+            ++peer.stats.statsRx;
+            if (statsConsumerFn)
+                statsConsumerFn(peer.rank, f.payload);
             break;
           case FrameType::Bye:
             // Orderly exit mid-run still means this peer will never
@@ -363,12 +376,19 @@ ShardTransport::onRoundComplete(uint64_t round, Cycles round_start)
 {
     // Phase 1: flush. Batches were appended by onTxBatch during the
     // commit phase; cap the round with a RoundDone marker and send the
-    // whole round as one write per peer.
+    // whole round as one write per peer. Every statsEvery rounds the
+    // RoundDone rides behind a telemetry Stats frame bound for rank 0.
+    bool stats_due = opts.statsEvery != 0 && opts.rank != 0 &&
+                     statsProviderFn &&
+                     (round + 1) % opts.statsEvery == 0;
+    uint64_t latency_ns = latencyFn ? latencyFn() : 0;
     auto flush_t0 = SteadyClock::now();
     for (Peer &peer : peers) {
         if (!peer.stats.alive)
             continue;
-        encodeRoundDone(peer.txBuf, round, round_start);
+        if (stats_due && peer.rank == 0)
+            encodeStats(peer.txBuf, statsProviderFn(round, round_start));
+        encodeRoundDone(peer.txBuf, round, round_start, latency_ns);
         if (!sendAll(peer.sock.fd(), peer.txBuf.data(),
                      peer.txBuf.size())) {
             peerLost(peer, round, round_start, "send failed");
@@ -434,6 +454,80 @@ ShardTransport::onRoundComplete(uint64_t round, Cycles round_start)
     if (spanFn)
         spanFn("shard.barrier",
                static_cast<uint64_t>(elapsedNs(barrier_t0)));
+}
+
+void
+ShardTransport::exchangeFinalStats(uint64_t round, Cycles cycle)
+{
+    if (finalStatsDone || shutdownDone)
+        return;
+    finalStatsDone = true;
+
+    if (opts.rank != 0) {
+        if (!statsProviderFn)
+            return;
+        Peer &peer = peers[peerIndexOf(0)];
+        if (!peer.stats.alive || !peer.sock.valid())
+            return;
+        std::string out;
+        encodeStats(out, statsProviderFn(round, cycle));
+        if (sendAll(peer.sock.fd(), out.data(), out.size()))
+            peer.stats.bytesTx += out.size();
+        return;
+    }
+
+    if (!statsConsumerFn)
+        return;
+    // Rank 0: one final Stats frame per live peer. A peer that quit
+    // early answers with Bye instead, and a dead one with silence —
+    // both are tolerated (bounded by recvTimeoutMs), since the run is
+    // over and only the merged dump's completeness is at stake.
+    for (Peer &peer : peers) {
+        if (!peer.stats.alive || !peer.sock.valid())
+            continue;
+        auto deadline = SteadyClock::now() +
+                        std::chrono::milliseconds(opts.recvTimeoutMs);
+        bool done = false;
+        while (!done) {
+            size_t pos = 0;
+            Frame f;
+            while (decodeFrame(peer.rxBuf, pos, f)) {
+                if (f.type == FrameType::Stats) {
+                    ++peer.stats.statsRx;
+                    statsConsumerFn(peer.rank, f.payload);
+                    done = true;
+                    break;
+                }
+                if (f.type == FrameType::Bye) {
+                    done = true;
+                    break;
+                }
+                // Skip anything else still buffered behind the barrier.
+            }
+            peer.rxBuf.erase(0, pos);
+            if (done)
+                break;
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - SteadyClock::now())
+                    .count();
+            if (left <= 0) {
+                warn("shard 0: no final stats from rank %u "
+                     "(timeout); merged dump omits it",
+                     peer.rank);
+                break;
+            }
+            int r = pollIn(peer.sock.fd(), static_cast<int>(left));
+            if (r <= 0)
+                break; // timeout or hangup: run is over, move on
+            char tmp[65536];
+            long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
+            if (n <= 0)
+                break;
+            peer.rxBuf.append(tmp, static_cast<size_t>(n));
+            peer.stats.bytesRx += static_cast<uint64_t>(n);
+        }
+    }
 }
 
 void

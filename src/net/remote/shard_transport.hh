@@ -72,6 +72,10 @@ class ShardTransport : public RemoteRoundHook
         int recvTimeoutMs = 10000;
         /** Abort instead of degrading when a peer is lost. */
         bool failFast = false;
+        /** Piggyback a telemetry Stats frame on the RoundDone barrier
+         *  every this many rounds (0 = never). Non-zero ranks send to
+         *  rank 0, which merges (telemetry/aggregate). */
+        uint32_t statsEvery = 0;
     };
 
     /** Per-peer transport accounting (host-side only, never part of
@@ -84,6 +88,10 @@ class ShardTransport : public RemoteRoundHook
         uint64_t batchesRx = 0;
         uint64_t roundsBarriered = 0;
         uint64_t stallNs = 0; //!< wall-clock spent waiting in barriers
+        /** Peer's self-reported round-latency EWMA (ns), from its most
+         *  recent RoundDone — the straggler detector's input. */
+        uint64_t peerRoundNs = 0;
+        uint64_t statsRx = 0; //!< telemetry Stats frames received
         bool alive = true;
     };
 
@@ -136,6 +144,55 @@ class ShardTransport : public RemoteRoundHook
      */
     using SpanFn = std::function<void(const char *name, uint64_t dur_ns)>;
     void setSpanHook(SpanFn fn) { spanFn = std::move(fn); }
+
+    // ---- observability hooks (net cannot depend on telemetry, so the
+    // Cluster bridges these as callbacks) ------------------------------
+
+    /** Encodes this rank's telemetry snapshot (telemetry/aggregate
+     *  bytes) when a Stats frame is due. Non-zero ranks only. */
+    using StatsProviderFn =
+        std::function<std::string(uint64_t round, Cycles cycle)>;
+    void setStatsProvider(StatsProviderFn fn)
+    {
+        statsProviderFn = std::move(fn);
+    }
+
+    /** Receives a peer's Stats payload (rank 0 merges them). */
+    using StatsConsumerFn =
+        std::function<void(uint32_t peer_rank, const std::string &payload)>;
+    void setStatsConsumer(StatsConsumerFn fn)
+    {
+        statsConsumerFn = std::move(fn);
+    }
+
+    /** Reports this rank's round-latency EWMA (ns), carried in every
+     *  outgoing RoundDone for cross-shard straggler detection. */
+    using RoundLatencyFn = std::function<uint64_t()>;
+    void setRoundLatencyProvider(RoundLatencyFn fn)
+    {
+        latencyFn = std::move(fn);
+    }
+
+    /**
+     * Runs immediately before the failFast fatal() on peer loss (after
+     * the loss callback), so telemetry and the flight recorder can
+     * flush — a failFast abort must never leave an empty postmortem.
+     */
+    using FatalFlushFn = std::function<void()>;
+    void setFatalFlushHook(FatalFlushFn fn)
+    {
+        fatalFlushFn = std::move(fn);
+    }
+
+    /**
+     * End-of-run stats exchange, called once after the last round and
+     * before shutdown(): non-zero ranks send one final Stats frame to
+     * rank 0; rank 0 reads one Stats frame per live peer (tolerating
+     * Bye or a bounded timeout from peers that quit first). The final
+     * merged dump cannot ride the periodic piggyback alone — the last
+     * round rarely lands on a statsEvery boundary.
+     */
+    void exchangeFinalStats(uint64_t round, Cycles cycle);
 
     /** Orderly shutdown: Bye to every live peer, close sockets.
      *  Idempotent; also run by the destructor. */
@@ -213,8 +270,13 @@ class ShardTransport : public RemoteRoundHook
     std::vector<TxBinding> txBindings;
     PeerLossFn lossFn;
     SpanFn spanFn;
+    StatsProviderFn statsProviderFn;
+    StatsConsumerFn statsConsumerFn;
+    RoundLatencyFn latencyFn;
+    FatalFlushFn fatalFlushFn;
     size_t lostPeers = 0;
     bool shutdownDone = false;
+    bool finalStatsDone = false;
 };
 
 } // namespace firesim

@@ -62,11 +62,13 @@ encodeBatch(std::string &out, uint32_t link_id, const TokenBatch &batch)
 }
 
 void
-encodeRoundDone(std::string &out, uint64_t round, Cycles cycle)
+encodeRoundDone(std::string &out, uint64_t round, Cycles cycle,
+                uint64_t latency_ns)
 {
     std::string p;
     putVarint(p, round);
     putVarint(p, cycle);
+    putVarint(p, latency_ns);
     beginFrame(out, FrameType::RoundDone, p);
 }
 
@@ -74,6 +76,12 @@ void
 encodeBye(std::string &out)
 {
     beginFrame(out, FrameType::Bye, std::string());
+}
+
+void
+encodeStats(std::string &out, const std::string &payload)
+{
+    beginFrame(out, FrameType::Stats, payload);
 }
 
 bool
@@ -140,10 +148,17 @@ decodeFrame(const std::string &in, size_t &pos, Frame &out)
         out.type = FrameType::RoundDone;
         out.round = getVarint(in, p);
         out.cycle = getVarint(in, p);
+        out.latencyNs = getVarint(in, p);
         break;
       }
       case FrameType::Bye: {
         out.type = FrameType::Bye;
+        break;
+      }
+      case FrameType::Stats: {
+        out.type = FrameType::Stats;
+        out.payload = in.substr(p, frame_end - p);
+        p = frame_end;
         break;
       }
       default:

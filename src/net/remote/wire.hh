@@ -21,9 +21,16 @@
  *               the flits as (offset-delta+1 varint, meta byte,
  *               payload bytes). Empty batches — the common case on an
  *               idle link — are 4-6 bytes.
- *  - RoundDone: round number and round-start cycle. One per peer per
- *               round, after that round's batches: both the round
- *               barrier and a desync check.
+ *  - RoundDone: round number, round-start cycle, and the sender's
+ *               recent per-round host latency (EWMA, nanoseconds). One
+ *               per peer per round, after that round's batches: the
+ *               round barrier, a desync check, and — via the latency
+ *               field — the input to cross-shard straggler detection.
+ *  - Stats:     an opaque telemetry payload (see telemetry/aggregate)
+ *               piggybacked immediately before a RoundDone every
+ *               statsEvery rounds; rank 0 merges them into the
+ *               cluster-wide stat tree. The transport does not
+ *               interpret the bytes.
  *  - Bye:       orderly shutdown (distinguishes a finished peer from
  *               a crashed one).
  *
@@ -43,8 +50,10 @@
 namespace firesim
 {
 
-/** Bump when the frame layout changes; checked in Hello. */
-constexpr uint32_t kWireVersion = 1;
+/** Bump when the frame layout changes; checked in Hello.
+ *  v2: RoundDone carries the sender's round-latency EWMA; Stats
+ *  frames piggyback telemetry snapshots on the barrier. */
+constexpr uint32_t kWireVersion = 2;
 
 enum class FrameType : uint8_t
 {
@@ -52,6 +61,7 @@ enum class FrameType : uint8_t
     Batch = 2,
     RoundDone = 3,
     Bye = 4,
+    Stats = 5,
 };
 
 /** One decoded frame; `type` selects which fields are meaningful. */
@@ -69,6 +79,9 @@ struct Frame
     // RoundDone
     uint64_t round = 0;
     Cycles cycle = 0;
+    uint64_t latencyNs = 0; //!< sender's per-round host latency EWMA
+    // Stats
+    std::string payload; //!< opaque telemetry bytes
 };
 
 void encodeHello(std::string &out, uint32_t rank, uint32_t shards,
@@ -78,9 +91,14 @@ void encodeHello(std::string &out, uint32_t rank, uint32_t shards,
 void encodeBatch(std::string &out, uint32_t link_id,
                  const TokenBatch &batch);
 
-void encodeRoundDone(std::string &out, uint64_t round, Cycles cycle);
+/** @p latency_ns is the sender's per-round host-latency EWMA. */
+void encodeRoundDone(std::string &out, uint64_t round, Cycles cycle,
+                     uint64_t latency_ns = 0);
 
 void encodeBye(std::string &out);
+
+/** Opaque telemetry payload (telemetry/aggregate encoding). */
+void encodeStats(std::string &out, const std::string &payload);
 
 /**
  * Decode the next complete frame from @p in at @p pos. Returns false

@@ -49,23 +49,29 @@ SnapshotWriter::encode() const
 std::string
 SnapshotWriter::writeFile(const std::string &path) const
 {
-    std::string image = encode();
+    return atomicWriteFile(path, encode());
+}
+
+std::string
+atomicWriteFile(const std::string &path, const std::string &bytes,
+                const char *what)
+{
     std::string tmp = path + ".tmp";
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
-        return csprintf("snapshot: cannot create %s: %s", tmp.c_str(),
+        return csprintf("%s: cannot create %s: %s", what, tmp.c_str(),
                         strerror(errno));
     }
     size_t off = 0;
-    while (off < image.size()) {
-        ssize_t n = ::write(fd, image.data() + off, image.size() - off);
+    while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             int e = errno;
             ::close(fd);
             ::unlink(tmp.c_str());
-            return csprintf("snapshot: write to %s failed: %s",
+            return csprintf("%s: write to %s failed: %s", what,
                             tmp.c_str(), strerror(e));
         }
         off += static_cast<size_t>(n);
@@ -77,18 +83,18 @@ SnapshotWriter::writeFile(const std::string &path) const
         int e = errno;
         ::close(fd);
         ::unlink(tmp.c_str());
-        return csprintf("snapshot: fsync %s failed: %s", tmp.c_str(),
+        return csprintf("%s: fsync %s failed: %s", what, tmp.c_str(),
                         strerror(e));
     }
     if (::close(fd) != 0) {
         ::unlink(tmp.c_str());
-        return csprintf("snapshot: close %s failed: %s", tmp.c_str(),
+        return csprintf("%s: close %s failed: %s", what, tmp.c_str(),
                         strerror(errno));
     }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         int e = errno;
         ::unlink(tmp.c_str());
-        return csprintf("snapshot: rename %s -> %s failed: %s",
+        return csprintf("%s: rename %s -> %s failed: %s", what,
                         tmp.c_str(), path.c_str(), strerror(e));
     }
     return {};

@@ -150,6 +150,17 @@ class SnapshotReader
 std::string snapshotRankPath(const std::string &path, uint64_t shards,
                              uint64_t rank);
 
+/**
+ * Atomically replace @p path with @p bytes: write `<path>.tmp`, fsync,
+ * rename. A crash mid-write leaves either the old file or none, never
+ * a torn one. Shared by snapshots, the Prometheus metrics file, and
+ * flight-recorder postmortems. Returns empty on success, else a
+ * diagnostic prefixed with @p what.
+ */
+std::string atomicWriteFile(const std::string &path,
+                            const std::string &bytes,
+                            const char *what = "snapshot");
+
 } // namespace firesim
 
 #endif // FIRESIM_SNAPSHOT_SNAPSHOT_HH

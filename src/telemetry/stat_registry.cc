@@ -47,6 +47,31 @@ diffSnapshots(const StatSnapshot &before, const StatSnapshot &after)
     return out;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += csprintf("\\u%04x", c);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
 void
 StatRegistry::validateName(const std::string &name)
 {
@@ -61,8 +86,10 @@ StatRegistry::validateName(const std::string &name)
             prev_dot = true;
             continue;
         }
-        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                  (c >= '0' && c <= '9') || c == '_' || c == '-';
+        // Any printable ASCII except space: topology labels can carry
+        // quotes/backslashes (the dumps escape them), but whitespace
+        // and control characters would corrupt the CSV dump.
+        bool ok = c > 0x20 && c < 0x7f;
         if (!ok)
             panic("malformed stat name '%s' (bad character '%c')",
                   name.c_str(), c);
@@ -156,12 +183,35 @@ StatRegistry::dumpJson(Cycles at) const
         if (!first)
             out += ", ";
         first = false;
-        out += csprintf("\"%s\": %s", kv.first.c_str(),
+        out += csprintf("\"%s\": %s", jsonEscape(kv.first).c_str(),
                         formatValue(kv.second()).c_str());
     }
     out += "}}";
     return out;
 }
+
+namespace
+{
+
+// RFC-4180 quoting for the few names that need it (commas or quotes
+// are possible now that stat names accept printable ASCII).
+std::string
+csvField(const std::string &s)
+{
+    if (s.find(',') == std::string::npos &&
+        s.find('"') == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 std::string
 StatRegistry::dumpCsv(Cycles at) const
@@ -169,7 +219,7 @@ StatRegistry::dumpCsv(Cycles at) const
     std::string out = csprintf("# cycle %llu\nstat,value\n",
                                (unsigned long long)at);
     for (const auto &kv : probes)
-        out += csprintf("%s,%s\n", kv.first.c_str(),
+        out += csprintf("%s,%s\n", csvField(kv.first).c_str(),
                         formatValue(kv.second()).c_str());
     return out;
 }

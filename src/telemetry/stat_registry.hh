@@ -53,6 +53,14 @@ struct StatSnapshot
 StatSnapshot diffSnapshots(const StatSnapshot &before,
                            const StatSnapshot &after);
 
+/**
+ * Escape @p s for embedding inside a JSON string literal: `"` and
+ * `\` get backslash-escaped, control characters become `\n`/`\t`/...
+ * or `\u00XX`. Every telemetry emitter (stat dumps, trace events,
+ * heartbeats, flight recorder) routes strings through this.
+ */
+std::string jsonEscape(const std::string &s);
+
 class StatRegistry
 {
   public:
@@ -60,8 +68,10 @@ class StatRegistry
 
     /**
      * Register a generic probe under @p name. Names are dotted
-     * hierarchical paths of [A-Za-z0-9_-] components; duplicate or
-     * malformed names are simulator bugs and panic.
+     * hierarchical paths of printable-ASCII components (no spaces or
+     * control characters; `"`/`\` are allowed — topology labels can
+     * carry them — and the dumps escape them); duplicate or malformed
+     * names are simulator bugs and panic.
      */
     void registerProbe(const std::string &name, Probe probe);
 

@@ -46,9 +46,19 @@ struct TelemetryConfig
     size_t maxTraceEvents = 1 << 20;
     /**
      * When non-empty, dump stats.json, autocounter.csv and trace.json
-     * into this (existing) directory at Cluster destruction.
+     * into this (existing) directory at Cluster destruction. Sharded
+     * runs additionally write rank 0's merged cross-shard dumps
+     * (merged_stats.json/.csv, merged_trace.json; telemetry/aggregate).
      */
     std::string dumpDir;
+    /**
+     * Distributed runs only: piggyback this rank's telemetry snapshot
+     * on the RoundDone barrier every this many rounds, so rank 0's
+     * merged view stays live mid-run (0 = final-exchange only, which
+     * still happens whenever dumpDir is set). Pure host observability;
+     * any value leaves simulation results byte-identical.
+     */
+    uint32_t aggregateEvery = 0;
 };
 
 class Telemetry

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace firesim
 {
@@ -75,8 +76,8 @@ TraceEventSink::json() const
         out += csprintf(
             "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
             "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
-            i ? "," : "", names[e.name].c_str(), e.cat, e.tid, e.ts,
-            e.dur);
+            i ? "," : "", jsonEscape(names[e.name]).c_str(), e.cat,
+            e.tid, e.ts, e.dur);
     }
     out += "\n]}";
     return out;
@@ -209,7 +210,7 @@ SimRateTelemetry::beginPhase(const std::string &name, Cycles target_now)
 {
     FS_ASSERT(!inPhase, "sim-rate phase '%s' still open when '%s' began",
               open.name.c_str(), name.c_str());
-    open = Phase{name, target_now, 0.0};
+    open = Phase{name, target_now, 0.0, target_now};
     openAt = std::chrono::steady_clock::now();
     inPhase = true;
 }

@@ -177,6 +177,9 @@ class SimRateTelemetry
         std::string name;
         Cycles targetCycles = 0;
         double hostSeconds = 0.0;
+        /** Target cycle the phase began at — lets merged cross-shard
+         *  traces align per-rank lanes on the simulated clock. */
+        Cycles startCycle = 0;
 
         double
         cyclesPerHostSecond() const

@@ -141,5 +141,50 @@ TEST(KnobParse, ShardConnectRoundTrips)
     EXPECT_EQ(bench::shardBasePortRef(), 9000u);
 }
 
+TEST(KnobParse, ObservabilityFlagsRoundTrip)
+{
+    parseOneFlag("--heartbeat-every=64");
+    EXPECT_EQ(bench::heartbeatEveryRef(), 64u);
+    parseOneFlag("--status-interval=10");
+    EXPECT_EQ(bench::statusIntervalRef(), 10u);
+    parseOneFlag("--metrics-file=/tmp/fs.prom");
+    EXPECT_EQ(bench::metricsFileRef(), "/tmp/fs.prom");
+    parseOneFlag("--flight-recorder-depth=1024");
+    EXPECT_EQ(bench::flightRecorderDepthRef(), 1024u);
+    // The bare switch must not be shadowed by its =N-suffixed sibling
+    // (both start with "--flight-recorder").
+    EXPECT_FALSE(bench::flightRecorderRef());
+    parseOneFlag("--flight-recorder");
+    EXPECT_TRUE(bench::flightRecorderRef());
+    EXPECT_EQ(bench::flightRecorderDepthRef(), 1024u);
+}
+
+TEST(KnobParseDeath, ObservabilityFlagsShareTheStrictParser)
+{
+    EXPECT_EXIT(parseOneFlag("--heartbeat-every=8x"),
+                ::testing::ExitedWithCode(2), "--heartbeat-every");
+    EXPECT_EXIT(parseOneFlag("--status-interval= 5"),
+                ::testing::ExitedWithCode(2), "--status-interval");
+    EXPECT_EXIT(parseOneFlag("--flight-recorder-depth=abc"),
+                ::testing::ExitedWithCode(2),
+                "--flight-recorder-depth");
+    // Depth 0 parses but fails cross-validation: a zero-slot ring
+    // records nothing and the FlightRecorder refuses to build one.
+    EXPECT_EXIT(parseOneFlag("--flight-recorder-depth=0"),
+                ::testing::ExitedWithCode(2), "at least 1");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_HEARTBEAT_EVERY", "1h", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_HEARTBEAT_EVERY");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_FLIGHT_RECORDER_DEPTH", "-1", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_FLIGHT_RECORDER_DEPTH");
+}
+
 } // namespace
 } // namespace firesim

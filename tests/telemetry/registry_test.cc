@@ -155,5 +155,50 @@ TEST(StatRegistry, IntegersDumpWithoutExponent)
     EXPECT_EQ(StatRegistry::formatValue(2.5), "2.5");
 }
 
+TEST(StatRegistry, JsonEscapesQuotesAndBackslashesInNames)
+{
+    // Names accept any printable ASCII now (workload labels like
+    // net."eth0".rx are legal), so the JSON dump must escape them —
+    // a quote in a stat name used to tear the document.
+    StatRegistry reg;
+    reg.registerProbe("net.\"eth0\".rx", [] { return 7.0; });
+    reg.registerProbe("disk.c:\\scratch.writes", [] { return 3.0; });
+
+    minijson::ValuePtr doc = minijson::parse(reg.dumpJson(10));
+    const minijson::Value &stats = doc->at("stats");
+    ASSERT_TRUE(stats.isObject());
+    EXPECT_DOUBLE_EQ(stats.at("net.\"eth0\".rx").number, 7.0);
+    EXPECT_DOUBLE_EQ(stats.at("disk.c:\\scratch.writes").number, 3.0);
+}
+
+TEST(StatRegistry, CsvQuotesNamesThatNeedIt)
+{
+    // RFC-4180: fields containing commas or quotes are quoted, with
+    // embedded quotes doubled; plain names stay unquoted.
+    StatRegistry reg;
+    reg.registerProbe("a.plain", [] { return 1.0; });
+    reg.registerProbe("b.with,comma", [] { return 2.0; });
+    reg.registerProbe("c.with\"quote", [] { return 3.0; });
+
+    EXPECT_EQ(reg.dumpCsv(5),
+              "# cycle 5\nstat,value\n"
+              "a.plain,1\n"
+              "\"b.with,comma\",2\n"
+              "\"c.with\"\"quote\",3\n");
+}
+
+TEST(StatRegistryDeath, ControlAndNonAsciiCharsStillPanic)
+{
+    // The relaxation stops at printable ASCII: spaces, control bytes
+    // and high-bit bytes stay fatal (they would poison every dump
+    // format at once).
+    StatRegistry reg;
+    EXPECT_DEATH(reg.registerProbe("a b", [] { return 0.0; }), "");
+    EXPECT_DEATH(reg.registerProbe("a\tb", [] { return 0.0; }), "");
+    EXPECT_DEATH(reg.registerProbe("a\x01b", [] { return 0.0; }), "");
+    EXPECT_DEATH(reg.registerProbe("a\xc3\xa9", [] { return 0.0; }),
+                 "");
+}
+
 } // namespace
 } // namespace firesim

@@ -79,6 +79,48 @@ TEST(SimRateTelemetry, TracksPhases)
     EXPECT_NE(report.find("warmup"), std::string::npos);
 }
 
+TEST(SimRateTelemetry, ZeroHostTimeReadsZeroNotInfinity)
+{
+    // A phase whose wall time rounds to zero (or was never measured)
+    // must report a 0 rate, not divide by zero — the first round of a
+    // fast functional-window run genuinely hits this.
+    SimRateTelemetry::Phase p;
+    p.name = "instant";
+    p.targetCycles = 12345;
+    p.hostSeconds = 0.0;
+    EXPECT_EQ(p.cyclesPerHostSecond(), 0.0);
+}
+
+TEST(SimRateTelemetry, ZeroCyclePhaseHasZeroRate)
+{
+    // begin/end at the same target cycle: a legal no-op span (e.g. a
+    // run(0) probe call). Zero cycles over nonzero host time is 0.
+    SimRateTelemetry rate;
+    rate.beginPhase("noop", 500);
+    rate.endPhase(500);
+    ASSERT_EQ(rate.phases().size(), 1u);
+    const SimRateTelemetry::Phase &p = rate.phases()[0];
+    EXPECT_EQ(p.targetCycles, 0u);
+    EXPECT_EQ(p.startCycle, 500u);
+    EXPECT_EQ(p.cyclesPerHostSecond(), 0.0);
+}
+
+TEST(SimRateTelemetry, PhasesRecordTheirStartCycle)
+{
+    // startCycle is what lets merged cross-shard traces align lanes
+    // on the simulated clock (telemetry/aggregate).
+    SimRateTelemetry rate;
+    rate.beginPhase("boot", 0);
+    rate.endPhase(20000);
+    rate.beginPhase("steady", 20000);
+    rate.endPhase(50000);
+    ASSERT_EQ(rate.phases().size(), 2u);
+    EXPECT_EQ(rate.phases()[0].startCycle, 0u);
+    EXPECT_EQ(rate.phases()[0].targetCycles, 20000u);
+    EXPECT_EQ(rate.phases()[1].startCycle, 20000u);
+    EXPECT_EQ(rate.phases()[1].targetCycles, 30000u);
+}
+
 /** A 2-node ping cluster with full telemetry. */
 static ClusterConfig
 telemetryConfig()
@@ -202,7 +244,9 @@ TEST(ClusterTelemetry, SimRatePhasesCoverEveryRunCall)
     const auto &phases = cluster.telemetry()->simRate().phases();
     ASSERT_EQ(phases.size(), 2u);
     EXPECT_EQ(phases[0].targetCycles, 20000u);
+    EXPECT_EQ(phases[0].startCycle, 0u);
     EXPECT_EQ(phases[1].targetCycles, 30000u);
+    EXPECT_EQ(phases[1].startCycle, 20000u);
 }
 
 TEST(ClusterTelemetry, DumpAtExitWritesParseableFiles)
