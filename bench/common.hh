@@ -126,6 +126,52 @@ parseUnsignedKnob(const char *what, const char *text)
     return static_cast<unsigned>(v);
 }
 
+/** Host-side decode-cache fast path for RocketCore harts
+ *  (CoreConfig::decodeCache), set by parseCommonFlags(); on by
+ *  default, --decode-cache=off is the escape hatch. Bit-identical
+ *  simulation results either way — only wall-clock changes. */
+inline bool &
+decodeCacheRef()
+{
+    static bool on = true;
+    return on;
+}
+
+inline bool
+decodeCache()
+{
+    return decodeCacheRef();
+}
+
+/** Decode-cache capacity in entries (CoreConfig::decodeCacheEntries),
+ *  set by parseCommonFlags(); rounded up to a power of two. */
+inline unsigned &
+decodeCacheEntriesRef()
+{
+    static unsigned entries = 1u << 15;
+    return entries;
+}
+
+inline unsigned
+decodeCacheEntries()
+{
+    return decodeCacheEntriesRef();
+}
+
+/** Parse on|off for --decode-cache or exit(2). */
+inline bool
+parseOnOffKnob(const char *what, const char *text)
+{
+    std::string s = text ? text : "";
+    if (s == "on")
+        return true;
+    if (s == "off")
+        return false;
+    std::fprintf(stderr, "error: %s expects on or off, got '%s'\n",
+                 what, s.c_str());
+    std::exit(2);
+}
+
 /** Shard count for distributed runs (ClusterConfig::shard.shards),
  *  set by parseCommonFlags(); defaults to 1 (single process). */
 inline unsigned &
@@ -362,6 +408,12 @@ parseSchedKnob(const char *what, const char *text)
  *   --flight-recorder-depth=N  flight recorder ring depth in events
  *                            (env FIRESIM_FLIGHT_RECORDER_DEPTH;
  *                            default 256)
+ *   --decode-cache=on|off    host-side predecode + superblock fast
+ *                            path for RocketCore harts
+ *                            (env FIRESIM_DECODE_CACHE; default on)
+ *   --decode-cache-entries=N decode-cache slots, rounded up to a power
+ *                            of two (env FIRESIM_DECODE_CACHE_ENTRIES;
+ *                            default 32768; must be at least 1)
  * Flags win over the environment. Malformed values are an error, not a
  * silent fallback. Unknown arguments are ignored so binaries stay
  * permissive. Results are bit-identical for every combination — only
@@ -407,6 +459,11 @@ parseCommonFlags(int argc, char **argv)
     if (const char *env = std::getenv("FIRESIM_FLIGHT_RECORDER_DEPTH"))
         flightRecorderDepthRef() =
             parseUnsignedKnob("FIRESIM_FLIGHT_RECORDER_DEPTH", env);
+    if (const char *env = std::getenv("FIRESIM_DECODE_CACHE"))
+        decodeCacheRef() = parseOnOffKnob("FIRESIM_DECODE_CACHE", env);
+    if (const char *env = std::getenv("FIRESIM_DECODE_CACHE_ENTRIES"))
+        decodeCacheEntriesRef() =
+            parseUnsignedKnob("FIRESIM_DECODE_CACHE_ENTRIES", env);
 
     const std::string hosts_flag = "--parallel-hosts=";
     const std::string sched_flag = "--sched-policy=";
@@ -423,6 +480,8 @@ parseCommonFlags(int argc, char **argv)
     const std::string metrics_flag = "--metrics-file=";
     const std::string fr_flag = "--flight-recorder";
     const std::string fr_depth_flag = "--flight-recorder-depth=";
+    const std::string dcache_flag = "--decode-cache=";
+    const std::string dcache_entries_flag = "--decode-cache-entries=";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind(hosts_flag, 0) == 0)
@@ -467,6 +526,13 @@ parseCommonFlags(int argc, char **argv)
             flightRecorderDepthRef() = parseUnsignedKnob(
                 "--flight-recorder-depth",
                 arg.c_str() + fr_depth_flag.size());
+        else if (arg.rfind(dcache_entries_flag, 0) == 0)
+            decodeCacheEntriesRef() = parseUnsignedKnob(
+                "--decode-cache-entries",
+                arg.c_str() + dcache_entries_flag.size());
+        else if (arg.rfind(dcache_flag, 0) == 0)
+            decodeCacheRef() = parseOnOffKnob(
+                "--decode-cache", arg.c_str() + dcache_flag.size());
         else if (arg == fr_flag)
             flightRecorderRef() = true;
     }
@@ -499,6 +565,12 @@ parseCommonFlags(int argc, char **argv)
     if (flightRecorderDepthRef() == 0) {
         std::fprintf(stderr,
                      "error: --flight-recorder-depth must be at "
+                     "least 1\n");
+        std::exit(2);
+    }
+    if (decodeCacheEntriesRef() == 0) {
+        std::fprintf(stderr,
+                     "error: --decode-cache-entries must be at "
                      "least 1\n");
         std::exit(2);
     }
@@ -538,6 +610,8 @@ applyClusterFlags(ClusterConfigT &cc)
     cc.flightRecorder.enabled = flightRecorderRef();
     cc.flightRecorder.depth = flightRecorderDepthRef();
     cc.flightRecorder.installSignalHandler = flightRecorderRef();
+    cc.hart.decodeCache = decodeCache();
+    cc.hart.decodeCacheEntries = decodeCacheEntries();
 }
 
 /**

@@ -23,6 +23,22 @@ namespace firesim
 std::string
 stripHostTimingStats(std::string json)
 {
+    // Erase the `"name": value` pair whose opening quote is at @p at.
+    auto eraseEntry = [&json](size_t at) {
+        size_t next = json.find(", \"", at);
+        if (next != std::string::npos) {
+            json.erase(at, next + 2 - at);
+        } else {
+            // Last entry: drop the separator in front of it instead.
+            size_t stop = json.find('}', at);
+            if (stop == std::string::npos)
+                stop = json.size();
+            size_t begin = json.rfind(", ", at);
+            begin = begin == std::string::npos ? at : begin;
+            json.erase(begin, stop - begin);
+        }
+    };
+
     // Matches both the plain single-process name and the merged
     // cross-shard dump's `rankN.`-prefixed one (telemetry/aggregate).
     const std::string key = "cluster.shard.";
@@ -49,19 +65,28 @@ stripHostTimingStats(std::string json)
             from = hit + key.size();
             continue;
         }
-        size_t at = quote;
-        size_t next = json.find(", \"", at);
-        if (next != std::string::npos) {
-            json.erase(at, next + 2 - at);
-        } else {
-            // Last entry: drop the separator in front of it instead.
-            size_t stop = json.find('}', at);
-            if (stop == std::string::npos)
-                stop = json.size();
-            size_t begin = json.rfind(", ", at);
-            begin = begin == std::string::npos ? at : begin;
-            json.erase(begin, stop - begin);
+        eraseEntry(quote);
+        from = 0;
+    }
+
+    // A `.host.` segment anywhere in a stat name marks host-side
+    // acceleration telemetry (decode-cache hit/miss/invalidation
+    // counts): correct runs legitimately differ in these — a restored
+    // run re-misses, a cache-off run records nothing — so parity
+    // comparisons drop them alongside the fabric timing stats.
+    const std::string host_key = ".host.";
+    from = 0;
+    while ((hit = json.find(host_key, from)) != std::string::npos) {
+        size_t quote = json.rfind('"', hit);
+        size_t close = json.find('"', hit);
+        bool in_name = quote != std::string::npos &&
+                       close != std::string::npos &&
+                       close + 1 < json.size() && json[close + 1] == ':';
+        if (!in_name) {
+            from = hit + host_key.size();
+            continue;
         }
+        eraseEntry(quote);
         from = 0;
     }
     return json;

@@ -1,5 +1,7 @@
 #include "manager/cluster.hh"
 
+#include <algorithm>
+
 #include "base/table.hh"
 #include "snapshot/snapshot.hh"
 
@@ -165,6 +167,8 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
         bc.memBytes = server.memBytes;
         bc.nic = cfg.nic;
         bc.mac = macFor(j);
+        bc.harts = std::min(cfg.harts, server.cores);
+        bc.hart = cfg.hart;
         OsConfig oc = cfg.os;
         oc.cores = server.cores;
         oc.seed = cfg.seed + j;
@@ -786,6 +790,8 @@ Cluster::buildSubtree(const SwitchSpec &spec, uint32_t depth)
         bc.memBytes = server.memBytes;
         bc.nic = cfg.nic;
         bc.mac = macFor(node_idx);
+        bc.harts = std::min(cfg.harts, server.cores);
+        bc.hart = cfg.hart;
 
         OsConfig oc = cfg.os;
         oc.cores = server.cores;

@@ -91,6 +91,16 @@ struct ClusterConfig
     /** Base seed; node i uses seed base + i. */
     uint64_t seed = 42;
     /**
+     * Cycle-exact RocketCore harts per blade (0 = none, the default:
+     * the OS/application model drives each node). Clamped to the
+     * blade's core count. Harts boot parked; tests and experiments arm
+     * them via node(i).blade().hart(h).reset(pc) after loading code.
+     */
+    uint32_t harts = 0;
+    /** Core template for every instantiated hart — carries the
+     *  decode-cache knobs (--decode-cache / --decode-cache-entries). */
+    CoreConfig hart;
+    /**
      * Nonzero switches the network to purely functional simulation
      * with this window in cycles (Section VII's performance/accuracy
      * extreme): frames still flow, timing is quantized to the window,

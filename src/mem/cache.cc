@@ -24,6 +24,11 @@ Cache::Cache(CacheConfig config, Cache *parent_cache, DramModel *dram_model)
     if (sets == 0 || (sets & (sets - 1)))
         fatal("cache '%s': set count %u must be a power of two",
               cfg.name.c_str(), sets);
+    while ((1u << lineShift) < cfg.lineBytes)
+        ++lineShift;
+    while ((1u << setShift) < sets)
+        ++setShift;
+    setMask = sets - 1;
     lines.assign(static_cast<size_t>(sets) * cfg.ways, Line{});
 }
 
@@ -32,6 +37,8 @@ Cache::flush()
 {
     for (auto &line : lines)
         line = Line{};
+    lastFetchLineNo = ~0ULL;
+    lastFetchLine = nullptr;
 }
 
 Cycles
@@ -45,9 +52,9 @@ Cache::fillFromParent(uint64_t line_addr, Cycles now)
 Cycles
 Cache::accessLine(uint64_t line_addr, bool is_write, Cycles now)
 {
-    uint64_t line_no = line_addr / cfg.lineBytes;
-    uint32_t set = static_cast<uint32_t>(line_no % sets);
-    uint64_t tag = line_no / sets;
+    uint64_t line_no = line_addr >> lineShift;
+    uint32_t set = static_cast<uint32_t>(line_no & setMask);
+    uint64_t tag = line_no >> setShift;
     Line *base = &lines[static_cast<size_t>(set) * cfg.ways];
 
     for (uint32_t w = 0; w < cfg.ways; ++w) {
@@ -61,7 +68,10 @@ Cache::accessLine(uint64_t line_addr, bool is_write, Cycles now)
         }
     }
 
-    // Miss: pick an invalid way if any, else the LRU victim.
+    // Miss: pick an invalid way if any, else the LRU victim. The fill
+    // below may displace the memoized fetch line, so drop the memo.
+    lastFetchLineNo = ~0ULL;
+    lastFetchLine = nullptr;
     ++stats_.misses;
     Line *victim = base;
     for (uint32_t w = 0; w < cfg.ways; ++w) {
@@ -101,11 +111,11 @@ Cycles
 Cache::access(uint64_t addr, uint32_t bytes, bool is_write, Cycles now)
 {
     FS_ASSERT(bytes > 0, "zero-byte cache access");
-    uint64_t first_line = addr / cfg.lineBytes;
-    uint64_t last_line = (addr + bytes - 1) / cfg.lineBytes;
+    uint64_t first_line = addr >> lineShift;
+    uint64_t last_line = (addr + bytes - 1) >> lineShift;
     Cycles total = 0;
     for (uint64_t line = first_line; line <= last_line; ++line)
-        total += accessLine(line * cfg.lineBytes, is_write, now + total);
+        total += accessLine(line << lineShift, is_write, now + total);
     return total;
 }
 
@@ -219,6 +229,8 @@ Cache::snapshotRestore(Deserializer &d, SnapshotErrors &err)
         return;
     }
     lruTick = tick;
+    lastFetchLineNo = ~0ULL;
+    lastFetchLine = nullptr;
     for (Line &l : lines) {
         l.valid = d.getB();
         l.dirty = d.getB();

@@ -72,6 +72,72 @@ class Cache
      */
     Cycles access(uint64_t addr, uint32_t bytes, bool is_write, Cycles now);
 
+    /**
+     * Hot-path instruction fetch: a 4-byte aligned access that never
+     * straddles a line. Inlined hit scan — identical tag/LRU/counter
+     * updates to access(addr, 4, false, now), just without the
+     * straddle loop and call overhead.
+     */
+    Cycles
+    fetchAccess(uint64_t addr, Cycles now)
+    {
+        // A misaligned pc (JALR only clears bit 0) can straddle a line;
+        // route that through the general path so timing stays exact.
+        if ((addr & (cfg.lineBytes - 1)) + 4 > cfg.lineBytes)
+            return access(addr, 4, false, now);
+        uint64_t line_no = addr >> lineShift;
+        // Sequential fetch memo: straight-line code takes 16 fetches
+        // per 64 B line, and only this cache's own fill/evict path
+        // (accessLine) can displace the line, which drops the memo. A
+        // memo hit performs exactly the bookkeeping of a scan hit.
+        if (line_no == lastFetchLineNo) {
+            ++stats_.hits;
+            lastFetchLine->lru = ++lruTick;
+            return cfg.hitLatency;
+        }
+        Line *base =
+            &lines[(static_cast<size_t>(line_no) & setMask) * cfg.ways];
+        uint64_t tag = line_no >> setShift;
+        for (uint32_t w = 0; w < cfg.ways; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                ++stats_.hits;
+                line.lru = ++lruTick;
+                lastFetchLineNo = line_no;
+                lastFetchLine = &line;
+                return cfg.hitLatency;
+            }
+        }
+        return accessLine(line_no << lineShift, false, now);
+    }
+
+    /**
+     * Hot-path load/store: the common non-straddling case with an
+     * inlined hit scan — identical tag/LRU/dirty/counter updates to
+     * access(addr, bytes, is_write, now).
+     */
+    Cycles
+    dataAccess(uint64_t addr, uint32_t bytes, bool is_write, Cycles now)
+    {
+        if ((addr & (cfg.lineBytes - 1)) + bytes > cfg.lineBytes)
+            return access(addr, bytes, is_write, now);
+        uint64_t line_no = addr >> lineShift;
+        Line *base =
+            &lines[(static_cast<size_t>(line_no) & setMask) * cfg.ways];
+        uint64_t tag = line_no >> setShift;
+        for (uint32_t w = 0; w < cfg.ways; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                ++stats_.hits;
+                line.lru = ++lruTick;
+                if (is_write)
+                    line.dirty = true;
+                return cfg.hitLatency;
+            }
+        }
+        return accessLine(line_no << lineShift, is_write, now);
+    }
+
     /** Invalidate everything (e.g. between experiment phases). */
     void flush();
 
@@ -104,8 +170,18 @@ class Cache
     DramModel *dram;
     CacheStats stats_;
     uint32_t sets;
+    // lineBytes and sets are enforced powers of two, so indexing
+    // reduces to shifts/masks (the div/mod forms cost real divides in
+    // the interpreter's per-instruction fetch).
+    uint32_t lineShift = 0;
+    uint32_t setShift = 0;
+    uint64_t setMask = 0;
     std::vector<Line> lines; //!< sets x ways
     uint64_t lruTick = 0;
+    // fetchAccess sequential-fetch memo; dropped whenever accessLine,
+    // flush or snapshotRestore can move or retag lines.
+    uint64_t lastFetchLineNo = ~0ULL;
+    Line *lastFetchLine = nullptr;
 };
 
 /** The Table I per-core + shared hierarchy for one blade. */

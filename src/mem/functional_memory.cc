@@ -12,16 +12,36 @@ uint8_t *
 FunctionalMemory::pageFor(uint64_t addr, bool allocate) const
 {
     uint64_t page = addr / kPageBytes;
+    if (page == lastPage)
+        return lastPtr;
     auto it = pages.find(page);
-    if (it != pages.end())
-        return it->second.get();
+    if (it != pages.end()) {
+        lastPage = page;
+        lastPtr = it->second.get();
+        return lastPtr;
+    }
     if (!allocate)
         return nullptr;
     auto mem = std::make_unique<uint8_t[]>(kPageBytes);
     std::memset(mem.get(), 0, kPageBytes);
     uint8_t *raw = mem.get();
     pages.emplace(page, std::move(mem));
+    lastPage = page;
+    lastPtr = raw;
     return raw;
+}
+
+void
+FunctionalMemory::addCodeWatch(CodeWriteWatch *watch)
+{
+    watches.push_back(watch);
+}
+
+void
+FunctionalMemory::removeCodeWatch(CodeWriteWatch *watch)
+{
+    watches.erase(std::remove(watches.begin(), watches.end(), watch),
+                  watches.end());
 }
 
 void
@@ -53,6 +73,8 @@ FunctionalMemory::write(uint64_t addr, const void *src, uint64_t len)
               "write [%llx,+%llu) out of bounds (capacity %llx)",
               (unsigned long long)addr, (unsigned long long)len,
               (unsigned long long)capacity);
+    if (!watches.empty())
+        noteWrite(addr, len);
     const uint8_t *in = static_cast<const uint8_t *>(src);
     while (len > 0) {
         uint64_t in_page = kPageBytes - addr % kPageBytes;
@@ -63,62 +85,6 @@ FunctionalMemory::write(uint64_t addr, const void *src, uint64_t len)
         in += chunk;
         len -= chunk;
     }
-}
-
-uint64_t
-FunctionalMemory::read64(uint64_t addr) const
-{
-    uint64_t v;
-    read(addr, &v, 8);
-    return v;
-}
-
-uint32_t
-FunctionalMemory::read32(uint64_t addr) const
-{
-    uint32_t v;
-    read(addr, &v, 4);
-    return v;
-}
-
-uint16_t
-FunctionalMemory::read16(uint64_t addr) const
-{
-    uint16_t v;
-    read(addr, &v, 2);
-    return v;
-}
-
-uint8_t
-FunctionalMemory::read8(uint64_t addr) const
-{
-    uint8_t v;
-    read(addr, &v, 1);
-    return v;
-}
-
-void
-FunctionalMemory::write64(uint64_t addr, uint64_t value)
-{
-    write(addr, &value, 8);
-}
-
-void
-FunctionalMemory::write32(uint64_t addr, uint32_t value)
-{
-    write(addr, &value, 4);
-}
-
-void
-FunctionalMemory::write16(uint64_t addr, uint16_t value)
-{
-    write(addr, &value, 2);
-}
-
-void
-FunctionalMemory::write8(uint64_t addr, uint8_t value)
-{
-    write(addr, &value, 1);
 }
 
 void
@@ -155,6 +121,12 @@ FunctionalMemory::snapshotRestore(Deserializer &d, SnapshotErrors &err)
         return;
     }
     pages = std::move(restored);
+    lastPage = ~0ULL;
+    lastPtr = nullptr;
+    // A restore rewrites memory wholesale; watchers must drop anything
+    // derived from the old contents.
+    for (CodeWriteWatch *w : watches)
+        w->onCodeWrite(0, capacity);
 }
 
 } // namespace firesim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "riscv/nic_mmio.hh"
 #include "snapshot/serial.hh"
 
 namespace firesim
@@ -17,6 +18,33 @@ ServerBlade::ServerBlade(BladeConfig config)
     cfg.blockdev.name = cfg.name + ".blkdev";
     nicDev = std::make_unique<Nic>(cfg.nic, eq, mem, cfg.mac);
     blkDev = std::make_unique<BlockDevice>(cfg.blockdev, eq, mem);
+
+    if (cfg.harts > cfg.cores)
+        fatal("blade '%s': %u harts exceed the %u cores",
+              cfg.name.c_str(), cfg.harts, cfg.cores);
+    if (cfg.harts > 0) {
+        hier_ = std::make_unique<MemHierarchy>(cfg.cores);
+        for (uint32_t h = 0; h < cfg.harts; ++h) {
+            auto bus = std::make_unique<MmioBus>();
+            CoreConfig hc = cfg.hart;
+            hc.hartId = h;
+            auto core =
+                std::make_unique<RocketCore>(hc, mem, *hier_, bus.get());
+            mapStandardDevices(*bus, *core);
+            mapNicMmio(*bus, *nicDev);
+            mapBlockDevMmio(*bus, *blkDev);
+            // Device MMIO must observe a consistent time base: run the
+            // blade's event queue up to the core's cycle first.
+            bus->setSyncHook([this](Cycles now) {
+                if (now > eq.now())
+                    eq.runUntil(now);
+            });
+            // Parked until software arms it via hart(h).reset(pc).
+            core->haltRequest(0);
+            hartBuses.push_back(std::move(bus));
+            harts_.push_back(std::move(core));
+        }
+    }
 }
 
 void
@@ -38,6 +66,14 @@ ServerBlade::advance(Cycles window_start, Cycles window,
         Cycles at = std::max(in[0]->absCycle(flit), eq.now());
         eq.schedule(at, [this, flit, at] { nicDev->deliverFlit(flit, at); });
     }
+
+    // Batched hart stepping: each armed hart executes to the token
+    // window boundary in one runUntilCycle() call instead of being
+    // single-stepped from outside, so the superblock fast path can
+    // amortize dispatch across the whole window.
+    for (auto &core : harts_)
+        if (!core->halted() && core->cycle() < window_end)
+            core->runUntilCycle(window_end);
 
     // Execute everything the blade does in this window: CPU/OS events,
     // DMA completions, device timers.
@@ -61,6 +97,12 @@ ServerBlade::registerStats(StatRegistry &registry,
                              b.sectorsMoved);
     registry.registerCounter(prefix + ".blockdev.interruptsRaised",
                              b.interruptsRaised);
+
+    for (size_t h = 0; h < harts_.size(); ++h)
+        harts_[h]->registerStats(
+            registry, csprintf("%s.hart%zu", prefix.c_str(), h));
+    if (hier_)
+        hier_->registerStats(registry, prefix + ".mem");
 }
 
 void
@@ -72,6 +114,13 @@ ServerBlade::snapshotSave(Serializer &s) const
     mem.snapshotSave(s);
     nicDev->snapshotSave(s);
     blkDev->snapshotSave(s);
+    // Hart state only exists when configured, so the stream layout is
+    // config-symmetric and harts=0 snapshots keep their old format.
+    if (!harts_.empty()) {
+        hier_->snapshotSave(s);
+        for (const auto &core : harts_)
+            core->snapshotSave(s);
+    }
 }
 
 void
@@ -85,6 +134,11 @@ ServerBlade::snapshotRestore(Deserializer &d, SnapshotErrors &err)
     mem.snapshotRestore(d, err);
     nicDev->snapshotRestore(d, err);
     blkDev->snapshotRestore(d, err);
+    if (!harts_.empty()) {
+        hier_->snapshotRestore(d, err);
+        for (auto &core : harts_)
+            core->snapshotRestore(d, err);
+    }
     if (!d.ok())
         err.add(n + ": " + d.error());
 }

@@ -22,11 +22,15 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "base/units.hh"
 #include "blockdev/blockdev.hh"
+#include "mem/cache.hh"
 #include "mem/functional_memory.hh"
 #include "net/fabric.hh"
 #include "nic/nic.hh"
+#include "riscv/core.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/stat_registry.hh"
 
@@ -54,6 +58,18 @@ struct BladeConfig
     BlockDevConfig blockdev;
     /** MAC address, assigned by the simulation manager. */
     MacAddr mac;
+    /**
+     * Number of cycle-exact RocketCore harts to instantiate (0 to
+     * `cores`; 0 = the OS/application model drives the blade, the
+     * default). Each hart gets its own MmioBus wired to the shared
+     * NIC/block device and is stepped in batch to the token-window
+     * boundary by advance(). A hart boots parked (halted) until
+     * software arms it via hart(i).reset().
+     */
+    uint32_t harts = 0;
+    /** Core template applied to every instantiated hart (hartId is
+     *  overridden per hart). Carries the decode-cache knobs. */
+    CoreConfig hart;
 };
 
 /**
@@ -87,6 +103,16 @@ class ServerBlade : public TokenEndpoint
     BlockDevice &blockDevice() { return *blkDev; }
     TargetClock clock() const { return TargetClock(cfg.freqGhz); }
 
+    /** Instantiated RocketCore harts (see BladeConfig::harts). */
+    uint32_t hartCount() const
+    {
+        return static_cast<uint32_t>(harts_.size());
+    }
+    RocketCore &hart(uint32_t i) { return *harts_.at(i); }
+    const RocketCore &hart(uint32_t i) const { return *harts_.at(i); }
+    /** The shared cache hierarchy; only valid when hartCount() > 0. */
+    MemHierarchy &hierarchy() { return *hier_; }
+
     /**
      * Serialize the blade: DRAM, NIC, block device (applied on
      * restore), plus the event queue's clock and schedule digest.
@@ -104,6 +130,9 @@ class ServerBlade : public TokenEndpoint
     FunctionalMemory mem;
     std::unique_ptr<Nic> nicDev;
     std::unique_ptr<BlockDevice> blkDev;
+    std::unique_ptr<MemHierarchy> hier_;
+    std::vector<std::unique_ptr<MmioBus>> hartBuses;
+    std::vector<std::unique_ptr<RocketCore>> harts_;
 };
 
 } // namespace firesim

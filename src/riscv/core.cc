@@ -1,6 +1,9 @@
 #include "riscv/core.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "riscv/decode_cache.hh"
 #include "snapshot/serial.hh"
 
 namespace firesim
@@ -17,17 +20,34 @@ MmioBus::map(uint64_t base, uint64_t size, ReadFn read, WriteFn write,
             fatal("MMIO region '%s' overlaps '%s'", name.c_str(),
                   r.name.c_str());
     }
-    regions.push_back(Region{base, size, std::move(read), std::move(write),
-                             std::move(name)});
+    auto pos = std::upper_bound(
+        regions.begin(), regions.end(), base,
+        [](uint64_t b, const Region &r) { return b < r.base; });
+    regions.insert(pos, Region{base, size, std::move(read),
+                               std::move(write), std::move(name)});
+    lastHit = ~size_t(0);
 }
 
 const MmioBus::Region *
 MmioBus::find(uint64_t addr) const
 {
-    for (const Region &r : regions)
-        if (addr >= r.base && addr < r.base + r.size)
-            return &r;
-    return nullptr;
+    if (lastHit < regions.size()) {
+        const Region &cached = regions[lastHit];
+        if (addr >= cached.base && addr - cached.base < cached.size)
+            return &cached;
+    }
+    // Regions are sorted and non-overlapping: the only candidate is
+    // the last region starting at or below addr.
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](uint64_t a, const Region &r) { return a < r.base; });
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    if (addr - it->base >= it->size)
+        return nullptr;
+    lastHit = static_cast<size_t>(it - regions.begin());
+    return &*it;
 }
 
 bool
@@ -66,7 +86,18 @@ RocketCore::RocketCore(CoreConfig config, FunctionalMemory &memory,
                        MemHierarchy &hierarchy, MmioBus *mmio_bus)
     : cfg(config), mem(memory), hier(hierarchy), bus(mmio_bus)
 {
+    if (cfg.decodeCache)
+        dcache_ = std::make_unique<DecodeCache>(cfg.decodeCacheEntries,
+                                                mem);
     reset(cfg.resetPc);
+}
+
+RocketCore::~RocketCore() = default;
+
+const DecodeCacheStats *
+RocketCore::decodeStats() const
+{
+    return dcache_ ? &dcache_->stats() : nullptr;
 }
 
 void
@@ -123,8 +154,10 @@ RocketCore::loadData(uint64_t addr, uint32_t size, bool sign_extend)
     uint64_t raw;
     if (addr >= cfg.dramBase) {
         uint64_t off = addr - cfg.dramBase;
-        stats_.cycles += hier.data(cfg.hartId, off, size, false,
-                                   stats_.cycles) -
+        if (!l1dFast_)
+            l1dFast_ = &hier.l1d(cfg.hartId);
+        stats_.cycles += l1dFast_->dataAccess(off, size, false,
+                                              stats_.cycles) -
                          1;
         switch (size) {
           case 1: raw = mem.read8(off); break;
@@ -151,7 +184,10 @@ RocketCore::storeData(uint64_t addr, uint64_t value, uint32_t size)
 {
     if (addr >= cfg.dramBase) {
         uint64_t off = addr - cfg.dramBase;
-        Cycles lat = hier.data(cfg.hartId, off, size, true, stats_.cycles);
+        if (!l1dFast_)
+            l1dFast_ = &hier.l1d(cfg.hartId);
+        Cycles lat =
+            l1dFast_->dataAccess(off, size, true, stats_.cycles);
         // Stores retire through a store buffer: only miss stalls show.
         if (lat > 2)
             stats_.cycles += lat - 2;
@@ -177,7 +213,16 @@ RocketCore::step()
 {
     if (isHalted)
         return false;
+    if (dcache_) {
+        runBlock(1, ~Cycles(0));
+        return !isHalted;
+    }
+    return stepSlow();
+}
 
+bool
+RocketCore::stepSlow()
+{
     // Fetch: the L1I hit latency is pipelined away; misses stall.
     uint64_t fetch_off = pcReg - cfg.dramBase;
     if (pcReg < cfg.dramBase)
@@ -188,7 +233,6 @@ RocketCore::step()
         stats_.cycles += fetch_lat - 1;
 
     uint32_t insn = mem.read32(fetch_off);
-    uint64_t next_pc = pcReg + 4;
     // Base CPI: 1/issueWidth sustained on straight-line code.
     if (++issueAccum >= cfg.issueWidth) {
         stats_.cycles += 1;
@@ -196,6 +240,22 @@ RocketCore::step()
     }
     ++stats_.instret;
 
+    uint64_t next_pc = executeInterp(insn);
+
+    // Commit: the instruction retired. The tracer (when attached)
+    // observes out-of-band — a null check is the entire disabled cost.
+    if (trace_)
+        trace_->record(pcReg, opClassOf(insn & 0x7f, insn >> 25),
+                       stats_.cycles);
+
+    pcReg = next_pc;
+    return !isHalted;
+}
+
+uint64_t
+RocketCore::executeInterp(uint32_t insn)
+{
+    uint64_t next_pc = pcReg + 4;
     uint32_t opcode = insn & 0x7f;
     Reg rd = static_cast<Reg>((insn >> 7) & 0x1f);
     uint32_t funct3 = (insn >> 12) & 7;
@@ -463,13 +523,364 @@ RocketCore::step()
               (unsigned long long)pcReg, insn);
     }
 
-    // Commit: the instruction retired. The tracer (when attached)
-    // observes out-of-band — a null check is the entire disabled cost.
-    if (trace_)
-        trace_->record(pcReg, opClassOf(opcode, funct7), stats_.cycles);
+    return next_pc;
+}
 
-    pcReg = next_pc;
-    return !isHalted;
+uint64_t
+RocketCore::runBlock(uint64_t max_insns, Cycles cycle_limit)
+{
+    return dispatchLoop<true>(max_insns, cycle_limit);
+}
+
+template <bool StopAtBlockEnd>
+uint64_t
+RocketCore::dispatchLoop(uint64_t max_insns, Cycles cycle_limit)
+{
+    if (isHalted || max_insns == 0)
+        return 0;
+    if (!l1iFast_)
+        l1iFast_ = &hier.l1i(cfg.hartId);
+    DecodeCache &dc = *dcache_;
+    uint64_t executed = 0;
+
+    for (;;) {
+        if (pcReg < cfg.dramBase)
+            panic("fetch from non-DRAM address %llx",
+                  (unsigned long long)pcReg);
+        uint64_t off = pcReg - cfg.dramBase;
+        DecodedInsn &slot = dc.slotFor(off);
+        if (slot.off != off)
+            dc.fill(slot, off, mem.read32(off));
+        else
+            dc.countHit();
+        // Copy out everything commit needs before executing: an MMIO
+        // access below syncs the event queue, and a device DMA landing
+        // on this code line invalidates the slot mid-instruction.
+        const ExecOp op = slot.op;
+        const OpClass cls = slot.cls;
+        const bool ends = slot.endsBlock;
+        const uint8_t rd = slot.rd;
+        const int64_t imm = slot.imm;
+        const uint32_t raw = slot.raw;
+        const uint8_t fn7 = slot.funct7;
+        const uint64_t a = x[slot.rs1];
+        const uint64_t b = x[slot.rs2];
+
+        Cycles fetch_lat = l1iFast_->fetchAccess(off, stats_.cycles);
+        if (fetch_lat > 1)
+            stats_.cycles += fetch_lat - 1;
+        if (++issueAccum >= cfg.issueWidth) {
+            stats_.cycles += 1;
+            issueAccum = 0;
+        }
+        ++stats_.instret;
+
+        uint64_t next_pc = pcReg + 4;
+        auto wr = [&](uint64_t v) {
+            if (rd != 0)
+                x[rd] = v;
+        };
+        auto branch = [&](bool take) {
+            ++stats_.branches;
+            if (take) {
+                ++stats_.takenBranches;
+                stats_.cycles += cfg.takenBranchPenalty;
+                next_pc = pcReg + imm;
+            }
+        };
+
+        switch (op) {
+          case ExecOp::Lui:
+            wr(static_cast<uint64_t>(imm));
+            break;
+          case ExecOp::Auipc:
+            wr(pcReg + static_cast<uint64_t>(imm));
+            break;
+          case ExecOp::Jal:
+            wr(pcReg + 4);
+            next_pc = pcReg + imm;
+            stats_.cycles += cfg.takenBranchPenalty;
+            break;
+          case ExecOp::Jalr:
+            wr(pcReg + 4);
+            next_pc = (a + imm) & ~1ULL;
+            stats_.cycles += cfg.takenBranchPenalty;
+            break;
+          case ExecOp::Beq: branch(a == b); break;
+          case ExecOp::Bne: branch(a != b); break;
+          case ExecOp::Blt:
+            branch(static_cast<int64_t>(a) < static_cast<int64_t>(b));
+            break;
+          case ExecOp::Bge:
+            branch(static_cast<int64_t>(a) >= static_cast<int64_t>(b));
+            break;
+          case ExecOp::Bltu: branch(a < b); break;
+          case ExecOp::Bgeu: branch(a >= b); break;
+          case ExecOp::Lb:
+            ++stats_.loads;
+            wr(loadData(a + imm, 1, true));
+            break;
+          case ExecOp::Lh:
+            ++stats_.loads;
+            wr(loadData(a + imm, 2, true));
+            break;
+          case ExecOp::Lw:
+            ++stats_.loads;
+            wr(loadData(a + imm, 4, true));
+            break;
+          case ExecOp::Ld:
+            ++stats_.loads;
+            wr(loadData(a + imm, 8, false));
+            break;
+          case ExecOp::Lbu:
+            ++stats_.loads;
+            wr(loadData(a + imm, 1, false));
+            break;
+          case ExecOp::Lhu:
+            ++stats_.loads;
+            wr(loadData(a + imm, 2, false));
+            break;
+          case ExecOp::Lwu:
+            ++stats_.loads;
+            wr(loadData(a + imm, 4, false));
+            break;
+          case ExecOp::Sb:
+            ++stats_.stores;
+            storeData(a + imm, b, 1);
+            break;
+          case ExecOp::Sh:
+            ++stats_.stores;
+            storeData(a + imm, b, 2);
+            break;
+          case ExecOp::Sw:
+            ++stats_.stores;
+            storeData(a + imm, b, 4);
+            break;
+          case ExecOp::Sd:
+            ++stats_.stores;
+            storeData(a + imm, b, 8);
+            break;
+          case ExecOp::Addi: wr(a + imm); break;
+          case ExecOp::Slti:
+            wr(static_cast<int64_t>(a) < imm ? 1 : 0);
+            break;
+          case ExecOp::Sltiu:
+            wr(a < static_cast<uint64_t>(imm) ? 1 : 0);
+            break;
+          case ExecOp::Xori: wr(a ^ static_cast<uint64_t>(imm)); break;
+          case ExecOp::Ori: wr(a | static_cast<uint64_t>(imm)); break;
+          case ExecOp::Andi: wr(a & static_cast<uint64_t>(imm)); break;
+          case ExecOp::Slli: wr(a << imm); break;
+          case ExecOp::Srli: wr(a >> imm); break;
+          case ExecOp::Srai:
+            wr(static_cast<uint64_t>(static_cast<int64_t>(a) >> imm));
+            break;
+          case ExecOp::Addiw:
+            wr(static_cast<uint64_t>(sext((a + imm) & 0xffffffffULL, 32)));
+            break;
+          case ExecOp::Slliw:
+            wr(static_cast<uint64_t>(sext((a << imm) & 0xffffffffULL, 32)));
+            break;
+          case ExecOp::Srliw:
+            wr(static_cast<uint64_t>(
+                sext(static_cast<uint32_t>(a) >> imm, 32)));
+            break;
+          case ExecOp::Sraiw:
+            wr(static_cast<uint64_t>(static_cast<int64_t>(
+                static_cast<int32_t>(static_cast<uint32_t>(a)) >> imm)));
+            break;
+          case ExecOp::Add: wr(a + b); break;
+          case ExecOp::Sub: wr(a - b); break;
+          case ExecOp::Sll: wr(a << (b & 0x3f)); break;
+          case ExecOp::Slt:
+            wr(static_cast<int64_t>(a) < static_cast<int64_t>(b) ? 1 : 0);
+            break;
+          case ExecOp::Sltu: wr(a < b ? 1 : 0); break;
+          case ExecOp::Xor: wr(a ^ b); break;
+          case ExecOp::Srl: wr(a >> (b & 0x3f)); break;
+          case ExecOp::Sra:
+            wr(static_cast<uint64_t>(static_cast<int64_t>(a) >>
+                                     (b & 0x3f)));
+            break;
+          case ExecOp::Or: wr(a | b); break;
+          case ExecOp::And: wr(a & b); break;
+          case ExecOp::Mul:
+            stats_.cycles += cfg.mulLatency - 1;
+            wr(a * b);
+            break;
+          case ExecOp::Mulh:
+            stats_.cycles += cfg.mulLatency - 1;
+            wr(static_cast<uint64_t>(
+                (static_cast<__int128>(static_cast<int64_t>(a)) *
+                 static_cast<__int128>(static_cast<int64_t>(b))) >> 64));
+            break;
+          case ExecOp::Mulhsu:
+            stats_.cycles += cfg.mulLatency - 1;
+            wr(static_cast<uint64_t>(
+                (static_cast<__int128>(static_cast<int64_t>(a)) *
+                 static_cast<unsigned __int128>(b)) >> 64));
+            break;
+          case ExecOp::Mulhu:
+            stats_.cycles += cfg.mulLatency - 1;
+            wr(static_cast<uint64_t>(
+                (static_cast<unsigned __int128>(a) *
+                 static_cast<unsigned __int128>(b)) >> 64));
+            break;
+          case ExecOp::Div:
+            stats_.cycles += cfg.divLatency - 1;
+            if (b == 0)
+                wr(~0ULL);
+            else if (static_cast<int64_t>(a) == INT64_MIN &&
+                     static_cast<int64_t>(b) == -1)
+                wr(a);
+            else
+                wr(static_cast<uint64_t>(static_cast<int64_t>(a) /
+                                         static_cast<int64_t>(b)));
+            break;
+          case ExecOp::Divu:
+            stats_.cycles += cfg.divLatency - 1;
+            wr(b == 0 ? ~0ULL : a / b);
+            break;
+          case ExecOp::Rem:
+            stats_.cycles += cfg.divLatency - 1;
+            if (b == 0)
+                wr(a);
+            else if (static_cast<int64_t>(a) == INT64_MIN &&
+                     static_cast<int64_t>(b) == -1)
+                wr(0);
+            else
+                wr(static_cast<uint64_t>(static_cast<int64_t>(a) %
+                                         static_cast<int64_t>(b)));
+            break;
+          case ExecOp::Remu:
+            stats_.cycles += cfg.divLatency - 1;
+            wr(b == 0 ? a : a % b);
+            break;
+          case ExecOp::Addw:
+            wr(static_cast<uint64_t>(sext(static_cast<uint32_t>(a) +
+                                              static_cast<uint32_t>(b),
+                                          32)));
+            break;
+          case ExecOp::Subw:
+            wr(static_cast<uint64_t>(sext(static_cast<uint32_t>(a) -
+                                              static_cast<uint32_t>(b),
+                                          32)));
+            break;
+          case ExecOp::Sllw:
+            wr(static_cast<uint64_t>(
+                sext(static_cast<uint32_t>(a) << (b & 0x1f), 32)));
+            break;
+          case ExecOp::Srlw:
+            wr(static_cast<uint64_t>(
+                sext(static_cast<uint32_t>(a) >> (b & 0x1f), 32)));
+            break;
+          case ExecOp::Sraw:
+            wr(static_cast<uint64_t>(static_cast<int64_t>(
+                static_cast<int32_t>(static_cast<uint32_t>(a)) >>
+                (b & 0x1f))));
+            break;
+          case ExecOp::Mulw:
+            stats_.cycles += cfg.mulLatency - 1;
+            wr(static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int32_t>(a)) *
+                static_cast<int32_t>(b)));
+            break;
+          case ExecOp::Divw: {
+            stats_.cycles += cfg.divLatency - 1;
+            int32_t aw = static_cast<int32_t>(a);
+            int32_t bw = static_cast<int32_t>(b);
+            if (bw == 0)
+                wr(~0ULL);
+            else if (aw == INT32_MIN && bw == -1)
+                wr(static_cast<uint64_t>(static_cast<int64_t>(aw)));
+            else
+                wr(static_cast<uint64_t>(static_cast<int64_t>(aw / bw)));
+            break;
+          }
+          case ExecOp::Divuw: {
+            stats_.cycles += cfg.divLatency - 1;
+            uint32_t au = static_cast<uint32_t>(a);
+            uint32_t bu = static_cast<uint32_t>(b);
+            wr(static_cast<uint64_t>(sext(bu == 0 ? ~0u : au / bu, 32)));
+            break;
+          }
+          case ExecOp::Remw: {
+            stats_.cycles += cfg.divLatency - 1;
+            int32_t aw = static_cast<int32_t>(a);
+            int32_t bw = static_cast<int32_t>(b);
+            if (bw == 0)
+                wr(static_cast<uint64_t>(static_cast<int64_t>(aw)));
+            else if (aw == INT32_MIN && bw == -1)
+                wr(0);
+            else
+                wr(static_cast<uint64_t>(static_cast<int64_t>(aw % bw)));
+            break;
+          }
+          case ExecOp::Remuw: {
+            stats_.cycles += cfg.divLatency - 1;
+            uint32_t au = static_cast<uint32_t>(a);
+            uint32_t bu = static_cast<uint32_t>(b);
+            wr(static_cast<uint64_t>(sext(bu == 0 ? au : au % bu, 32)));
+            break;
+          }
+          case ExecOp::Fence:
+            break;
+          case ExecOp::System:
+            haltRequest(x[regs::a0]);
+            break;
+          case ExecOp::Rocc0:
+          case ExecOp::Rocc1: {
+            uint32_t rocc_slot = op == ExecOp::Rocc0 ? 0 : 1;
+            if (!rocc[rocc_slot])
+                panic("custom-%u instruction at %llx with no accelerator "
+                      "attached",
+                      rocc_slot, (unsigned long long)pcReg);
+            RoccResult res = rocc[rocc_slot]->execute(fn7, a, b);
+            if (res.latency > 1)
+                stats_.cycles += res.latency - 1;
+            wr(res.rd);
+            break;
+          }
+          case ExecOp::Slow:
+            // Encodings the decoder doesn't predecode re-execute
+            // through the interpretive switch for identical semantics
+            // (in practice: the panic diagnostics).
+            next_pc = executeInterp(raw);
+            break;
+        }
+
+        if (trace_)
+            trace_->record(pcReg, cls, stats_.cycles);
+        pcReg = next_pc;
+        ++executed;
+        if (isHalted || (StopAtBlockEnd && ends))
+            break;
+        if (executed >= max_insns || stats_.cycles >= cycle_limit)
+            break;
+    }
+    return executed;
+}
+
+RocketCore::RunResult
+RocketCore::runUntilCycle(Cycles target)
+{
+    RunResult result;
+    Cycles start_cycles = stats_.cycles;
+    uint64_t start_instret = stats_.instret;
+    // Both paths test the boundary between instructions, so the two
+    // stepping modes halt at exactly the same commit.
+    if (dcache_) {
+        while (!isHalted && stats_.cycles < target)
+            dispatchLoop<false>(~0ULL, target);
+    } else {
+        while (!isHalted && stats_.cycles < target)
+            stepSlow();
+    }
+    result.instret = stats_.instret - start_instret;
+    result.cycles = stats_.cycles - start_cycles;
+    result.halted = isHalted;
+    result.exitCode = tohostValue;
+    return result;
 }
 
 void
@@ -499,6 +910,10 @@ RocketCore::registerStats(StatRegistry &registry,
         return static_cast<double>(s->mmioAccesses);
     });
     registry.registerProbe(prefix + ".ipc", [s] { return s->ipc(); });
+    // Host-only fast-path telemetry: the `.host.` segment is stripped
+    // from snapshot parity diffs (it differs run-to-run by design).
+    if (dcache_)
+        dcache_->registerStats(registry, prefix + ".host.decode");
 }
 
 RocketCore::RunResult
@@ -507,8 +922,17 @@ RocketCore::run(uint64_t max_instructions)
     RunResult result;
     Cycles start_cycles = stats_.cycles;
     uint64_t start_instret = stats_.instret;
-    while (!isHalted && stats_.instret - start_instret < max_instructions)
-        step();
+    if (dcache_) {
+        while (!isHalted &&
+               stats_.instret - start_instret < max_instructions)
+            dispatchLoop<false>(
+                max_instructions - (stats_.instret - start_instret),
+                ~Cycles(0));
+    } else {
+        while (!isHalted &&
+               stats_.instret - start_instret < max_instructions)
+            stepSlow();
+    }
     result.instret = stats_.instret - start_instret;
     result.cycles = stats_.cycles - start_cycles;
     result.halted = isHalted;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,8 @@ namespace firesim
 class Serializer;
 class Deserializer;
 struct SnapshotErrors;
+class DecodeCache;
+struct DecodeCacheStats;
 
 /** Memory-mapped device region dispatch. */
 class MmioBus
@@ -52,7 +55,10 @@ class MmioBus
     using WriteFn =
         std::function<void(uint64_t offset, uint64_t value, uint32_t size)>;
 
-    /** Map [base, base+size) to the given handlers. */
+    /**
+     * Map [base, base+size) to the given handlers. Regions are kept
+     * sorted by base so lookups binary-search instead of scanning.
+     */
     void map(uint64_t base, uint64_t size, ReadFn read, WriteFn write,
              std::string name = "dev");
 
@@ -89,7 +95,10 @@ class MmioBus
     };
     const Region *find(uint64_t addr) const;
 
-    std::vector<Region> regions;
+    std::vector<Region> regions; //!< sorted by base, non-overlapping
+    /** Device-polling loops hit the same window repeatedly; cache the
+     *  last match (an index — inserts may reallocate the vector). */
+    mutable size_t lastHit = ~size_t(0);
     std::function<void(Cycles)> syncHook;
 };
 
@@ -105,6 +114,15 @@ struct CoreConfig
      *  the Berkeley Out-of-Order Machine's throughput on straight-line
      *  code (Section VIII: BOOM fits where a quad-core Rocket does). */
     uint32_t issueWidth = 1;
+
+    /** Host-side fast path: predecode instructions into a PC-indexed
+     *  direct-mapped cache and dispatch superblocks. Pure host
+     *  optimization — architectural and timing state is bit-identical
+     *  with it on or off (--decode-cache=off is the escape hatch). */
+    bool decodeCache = true;
+    /** Decode cache capacity in entries (one per 4-byte word; rounded
+     *  up to a power of two). 32Ki entries covers 128 KiB of code. */
+    uint32_t decodeCacheEntries = 1u << 15;
 
     /** The BOOM configuration the paper plans to integrate: wider
      *  issue, deeper pipeline (higher redirect cost), faster divider. */
@@ -150,6 +168,9 @@ class RocketCore
      */
     RocketCore(CoreConfig config, FunctionalMemory &memory,
                MemHierarchy &hierarchy, MmioBus *bus = nullptr);
+    ~RocketCore();
+    RocketCore(const RocketCore &) = delete;
+    RocketCore &operator=(const RocketCore &) = delete;
 
     /** Reset architectural state and start at @p pc. */
     void reset(uint64_t pc);
@@ -167,6 +188,32 @@ class RocketCore
 
     /** Execute one instruction; returns false once halted. */
     bool step();
+
+    /**
+     * Execute until the core's cycle counter reaches @p target or the
+     * core halts — the batched-stepping entry point used by
+     * ServerBlade to run a hart up to the token-window boundary in one
+     * call. The stopping boundary is checked between instructions, so
+     * the final cycle count may overshoot @p target by the length of
+     * the last instruction, exactly as a step() loop with the same
+     * condition would.
+     */
+    RunResult runUntilCycle(Cycles target);
+
+    /**
+     * Fast-path superblock dispatch: execute up to @p max_insns
+     * instructions from the decode cache, stopping early at block
+     * terminators (branches, jumps, SYSTEM, RoCC), at halt, or once
+     * cycles reach @p cycle_limit. Produces exactly the same CoreStats
+     * as the equivalent sequence of singleton step() calls. Falls back
+     * to the slow interpreter per-instruction for anything the decoder
+     * does not predecode. @return instructions executed.
+     */
+    uint64_t runBlock(uint64_t max_insns, Cycles cycle_limit);
+
+    /** Decode-cache hit/miss/invalidation counters, or nullptr when
+     *  the fast path is disabled. Host-only: never snapshotted. */
+    const DecodeCacheStats *decodeStats() const;
 
     bool halted() const { return isHalted; }
     uint64_t exitCode() const { return tohostValue; }
@@ -232,6 +279,22 @@ class RocketCore
   private:
     uint64_t loadData(uint64_t addr, uint32_t size, bool sign_extend);
     void storeData(uint64_t addr, uint64_t value, uint32_t size);
+    /**
+     * The fast-path dispatch loop behind runBlock/run/runUntilCycle.
+     * With StopAtBlockEnd the loop returns at superblock terminators
+     * (runBlock's contract); without it, execution flows straight into
+     * the next block through a fresh slot lookup, sparing the bulk
+     * callers a function round-trip per block. Both limits are tested
+     * between instructions either way, so the two instantiations stop
+     * at exactly the same commits.
+     */
+    template <bool StopAtBlockEnd>
+    uint64_t dispatchLoop(uint64_t max_insns, Cycles cycle_limit);
+    /** One instruction through the full decode-and-execute switch. */
+    bool stepSlow();
+    /** Execute @p insn (already fetched and charged); returns next pc.
+     *  Shared by stepSlow and the fast path's Slow-op fallback. */
+    uint64_t executeInterp(uint32_t insn);
 
     CoreConfig cfg;
     FunctionalMemory &mem;
@@ -240,6 +303,9 @@ class RocketCore
     CoreStats stats_;
 
     uint64_t x[32] = {};
+    std::unique_ptr<DecodeCache> dcache_; //!< host-only, not serialized
+    Cache *l1iFast_ = nullptr; //!< this hart's L1I, cached for runBlock
+    Cache *l1dFast_ = nullptr; //!< this hart's L1D, cached for data
     InstructionTrace *trace_ = nullptr;
     RoccAccelerator *rocc[2] = {nullptr, nullptr};
     uint32_t issueAccum = 0; //!< instructions since the last base cycle

@@ -1,0 +1,327 @@
+#include "riscv/decode_cache.hh"
+
+#include "base/logging.hh"
+
+namespace firesim
+{
+
+namespace
+{
+
+int32_t
+sext32(uint32_t value, unsigned bits)
+{
+    unsigned shift = 32 - bits;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** TracerV opcode-class bucketing keyed on the major opcode (the same
+ *  bucketing the interpretive path applies at commit). */
+OpClass
+opClassOf(uint32_t opcode, uint32_t funct7)
+{
+    switch (opcode) {
+      case 0x03: // loads
+        return OpClass::Load;
+      case 0x23: // stores
+        return OpClass::Store;
+      case 0x63: // branches
+        return OpClass::Branch;
+      case 0x6f: // JAL
+      case 0x67: // JALR
+        return OpClass::Jump;
+      case 0x33: // OP
+      case 0x3b: // OP-32
+        return funct7 == 1 ? OpClass::MulDiv : OpClass::IntAlu;
+      case 0x73: // SYSTEM
+      case 0x0f: // FENCE
+        return OpClass::System;
+      case 0x0b: // custom-0 (RoCC)
+      case 0x2b: // custom-1 (RoCC)
+        return OpClass::Custom;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+} // namespace
+
+DecodedInsn
+decodeInsn(uint32_t raw)
+{
+    DecodedInsn d;
+    d.raw = raw;
+    uint32_t opcode = raw & 0x7f;
+    d.rd = (raw >> 7) & 0x1f;
+    uint32_t funct3 = (raw >> 12) & 7;
+    d.rs1 = (raw >> 15) & 0x1f;
+    d.rs2 = (raw >> 20) & 0x1f;
+    uint32_t funct7 = raw >> 25;
+    d.funct7 = static_cast<uint8_t>(funct7);
+    d.cls = opClassOf(opcode, funct7);
+    d.endsBlock = false;
+
+    int32_t imm_i = sext32(raw >> 20, 12);
+    int32_t imm_s =
+        sext32(((raw >> 25) << 5) | ((raw >> 7) & 0x1f), 12);
+    int32_t imm_b = sext32((((raw >> 31) & 1) << 12) |
+                               (((raw >> 7) & 1) << 11) |
+                               (((raw >> 25) & 0x3f) << 5) |
+                               (((raw >> 8) & 0xf) << 1),
+                           13);
+    int32_t imm_u = static_cast<int32_t>(raw & 0xfffff000u);
+    int32_t imm_j = sext32((((raw >> 31) & 1) << 20) |
+                               (((raw >> 12) & 0xff) << 12) |
+                               (((raw >> 20) & 1) << 11) |
+                               (((raw >> 21) & 0x3ff) << 1),
+                           21);
+
+    // Anything the interpretive switch would reject (panic on) decodes
+    // to Slow, so the fast path reproduces the exact diagnostic.
+    auto slow = [&] {
+        d.op = ExecOp::Slow;
+        d.endsBlock = true;
+    };
+
+    switch (opcode) {
+      case 0x37: // LUI
+        d.op = ExecOp::Lui;
+        d.imm = imm_u;
+        break;
+      case 0x17: // AUIPC
+        d.op = ExecOp::Auipc;
+        d.imm = imm_u;
+        break;
+      case 0x6f: // JAL
+        d.op = ExecOp::Jal;
+        d.imm = imm_j;
+        d.endsBlock = true;
+        break;
+      case 0x67: // JALR (the interpreter ignores funct3)
+        d.op = ExecOp::Jalr;
+        d.imm = imm_i;
+        d.endsBlock = true;
+        break;
+      case 0x63: // branches
+        d.imm = imm_b;
+        d.endsBlock = true;
+        switch (funct3) {
+          case 0: d.op = ExecOp::Beq; break;
+          case 1: d.op = ExecOp::Bne; break;
+          case 4: d.op = ExecOp::Blt; break;
+          case 5: d.op = ExecOp::Bge; break;
+          case 6: d.op = ExecOp::Bltu; break;
+          case 7: d.op = ExecOp::Bgeu; break;
+          default: slow(); break;
+        }
+        break;
+      case 0x03: // loads
+        d.imm = imm_i;
+        switch (funct3) {
+          case 0: d.op = ExecOp::Lb; break;
+          case 1: d.op = ExecOp::Lh; break;
+          case 2: d.op = ExecOp::Lw; break;
+          case 3: d.op = ExecOp::Ld; break;
+          case 4: d.op = ExecOp::Lbu; break;
+          case 5: d.op = ExecOp::Lhu; break;
+          case 6: d.op = ExecOp::Lwu; break;
+          default: slow(); break;
+        }
+        break;
+      case 0x23: // stores
+        d.imm = imm_s;
+        switch (funct3) {
+          case 0: d.op = ExecOp::Sb; break;
+          case 1: d.op = ExecOp::Sh; break;
+          case 2: d.op = ExecOp::Sw; break;
+          case 3: d.op = ExecOp::Sd; break;
+          default: slow(); break;
+        }
+        break;
+      case 0x13: // OP-IMM
+        d.imm = imm_i;
+        switch (funct3) {
+          case 0: d.op = ExecOp::Addi; break;
+          case 2: d.op = ExecOp::Slti; break;
+          case 3: d.op = ExecOp::Sltiu; break;
+          case 4: d.op = ExecOp::Xori; break;
+          case 6: d.op = ExecOp::Ori; break;
+          case 7: d.op = ExecOp::Andi; break;
+          case 1: // SLLI: the interpreter ignores the funct7 bits
+            d.op = ExecOp::Slli;
+            d.imm = static_cast<int32_t>((raw >> 20) & 0x3f);
+            break;
+          case 5:
+            d.op = (raw & 0x40000000) ? ExecOp::Srai : ExecOp::Srli;
+            d.imm = static_cast<int32_t>((raw >> 20) & 0x3f);
+            break;
+        }
+        break;
+      case 0x1b: // OP-IMM-32
+        switch (funct3) {
+          case 0:
+            d.op = ExecOp::Addiw;
+            d.imm = imm_i;
+            break;
+          case 1:
+            d.op = ExecOp::Slliw;
+            d.imm = static_cast<int32_t>((raw >> 20) & 0x1f);
+            break;
+          case 5:
+            d.op = (raw & 0x40000000) ? ExecOp::Sraiw : ExecOp::Srliw;
+            d.imm = static_cast<int32_t>((raw >> 20) & 0x1f);
+            break;
+          default: slow(); break;
+        }
+        break;
+      case 0x33: // OP
+        if (funct7 == 1) { // RV64M
+            switch (funct3) {
+              case 0: d.op = ExecOp::Mul; break;
+              case 1: d.op = ExecOp::Mulh; break;
+              case 2: d.op = ExecOp::Mulhsu; break;
+              case 3: d.op = ExecOp::Mulhu; break;
+              case 4: d.op = ExecOp::Div; break;
+              case 5: d.op = ExecOp::Divu; break;
+              case 6: d.op = ExecOp::Rem; break;
+              case 7: d.op = ExecOp::Remu; break;
+            }
+        } else {
+            switch (funct3) {
+              // The interpreter treats any funct7 other than 0x20 as
+              // the additive/logical form; the decode must match.
+              case 0: d.op = funct7 == 0x20 ? ExecOp::Sub : ExecOp::Add; break;
+              case 1: d.op = ExecOp::Sll; break;
+              case 2: d.op = ExecOp::Slt; break;
+              case 3: d.op = ExecOp::Sltu; break;
+              case 4: d.op = ExecOp::Xor; break;
+              case 5: d.op = funct7 == 0x20 ? ExecOp::Sra : ExecOp::Srl; break;
+              case 6: d.op = ExecOp::Or; break;
+              case 7: d.op = ExecOp::And; break;
+            }
+        }
+        break;
+      case 0x3b: // OP-32
+        if (funct7 == 1) { // RV64M W
+            switch (funct3) {
+              case 0: d.op = ExecOp::Mulw; break;
+              case 4: d.op = ExecOp::Divw; break;
+              case 5: d.op = ExecOp::Divuw; break;
+              case 6: d.op = ExecOp::Remw; break;
+              case 7: d.op = ExecOp::Remuw; break;
+              default: slow(); break;
+            }
+        } else {
+            switch (funct3) {
+              case 0: d.op = funct7 == 0x20 ? ExecOp::Subw : ExecOp::Addw; break;
+              case 1: d.op = ExecOp::Sllw; break;
+              case 5: d.op = funct7 == 0x20 ? ExecOp::Sraw : ExecOp::Srlw; break;
+              default: slow(); break;
+            }
+        }
+        break;
+      case 0x0b: // custom-0 (RoCC slot 0)
+        d.op = ExecOp::Rocc0;
+        d.endsBlock = true;
+        break;
+      case 0x2b: // custom-1 (RoCC slot 1)
+        d.op = ExecOp::Rocc1;
+        d.endsBlock = true;
+        break;
+      case 0x0f: // FENCE
+        d.op = ExecOp::Fence;
+        break;
+      case 0x73: // SYSTEM
+        d.op = ExecOp::System;
+        d.endsBlock = true;
+        break;
+      default:
+        slow();
+        break;
+    }
+    return d;
+}
+
+DecodeCache::DecodeCache(uint32_t entries, FunctionalMemory &memory)
+    : mem_(memory)
+{
+    if (entries == 0)
+        fatal("decode cache needs at least one entry");
+    uint32_t n = 1;
+    while (n < entries && n < (1u << 28))
+        n <<= 1;
+    slots_.assign(n, DecodedInsn{});
+    mask_ = n - 1;
+    mem_.addCodeWatch(this);
+}
+
+DecodeCache::~DecodeCache()
+{
+    mem_.removeCodeWatch(this);
+}
+
+void
+DecodeCache::fill(DecodedInsn &slot, uint64_t off, uint32_t raw)
+{
+    slot = decodeInsn(raw);
+    slot.off = off;
+    ++stats_.misses;
+    if (off < watchLo)
+        watchLo = off;
+    if (off + 4 > watchHi)
+        watchHi = off + 4;
+}
+
+void
+DecodeCache::invalidateAll()
+{
+    for (DecodedInsn &e : slots_) {
+        if (e.off != DecodedInsn::kNoOff) {
+            e.off = DecodedInsn::kNoOff;
+            ++stats_.invalidations;
+        }
+    }
+    // The watch range re-grows as entries refill.
+    watchLo = ~0ULL;
+    watchHi = 0;
+}
+
+void
+DecodeCache::onCodeWrite(uint64_t addr, uint64_t len)
+{
+    // A 4-byte instruction at offset o overlaps the write [addr,
+    // addr+len) iff o is in [addr-3, addr+len).
+    uint64_t lo = addr >= 3 ? addr - 3 : 0;
+    uint64_t hi = addr + len;
+    if (hi <= lo)
+        return;
+    if ((hi - lo) / 4 >= entries()) {
+        invalidateAll();
+        return;
+    }
+    for (uint64_t w = lo >> 2; w <= (hi - 1) >> 2; ++w) {
+        DecodedInsn &e = slots_[w & mask_];
+        if (e.off < hi && e.off + 4 > addr) {
+            e.off = DecodedInsn::kNoOff;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+DecodeCache::registerStats(StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    const DecodeCacheStats *s = &stats_;
+    registry.registerProbe(prefix + ".hits", [s] {
+        return static_cast<double>(s->hits);
+    });
+    registry.registerProbe(prefix + ".misses", [s] {
+        return static_cast<double>(s->misses);
+    });
+    registry.registerProbe(prefix + ".invalidations", [s] {
+        return static_cast<double>(s->invalidations);
+    });
+}
+
+} // namespace firesim

@@ -186,5 +186,75 @@ TEST(KnobParseDeath, ObservabilityFlagsShareTheStrictParser)
         ::testing::ExitedWithCode(2), "FIRESIM_FLIGHT_RECORDER_DEPTH");
 }
 
+TEST(KnobParse, DecodeCacheFlagsRoundTrip)
+{
+    // Default: on, 32Ki entries.
+    EXPECT_TRUE(bench::decodeCacheRef());
+    parseOneFlag("--decode-cache=off");
+    EXPECT_FALSE(bench::decodeCacheRef());
+    parseOneFlag("--decode-cache=on");
+    EXPECT_TRUE(bench::decodeCacheRef());
+    // The =N-suffixed sibling must not be swallowed by the shorter
+    // prefix (both start with "--decode-cache").
+    parseOneFlag("--decode-cache-entries=4096");
+    EXPECT_EQ(bench::decodeCacheEntriesRef(), 4096u);
+    EXPECT_TRUE(bench::decodeCacheRef());
+}
+
+TEST(KnobParseDeath, DecodeCacheFlagIsStrictOnOff)
+{
+    EXPECT_EXIT(parseOneFlag("--decode-cache=1"),
+                ::testing::ExitedWithCode(2), "on or off");
+    EXPECT_EXIT(parseOneFlag("--decode-cache=ON"),
+                ::testing::ExitedWithCode(2), "on or off");
+    EXPECT_EXIT(parseOneFlag("--decode-cache="),
+                ::testing::ExitedWithCode(2), "on or off");
+    EXPECT_EXIT(parseOneFlag("--decode-cache= on"),
+                ::testing::ExitedWithCode(2), "on or off");
+    EXPECT_EXIT(parseOneFlag("--decode-cache=off "),
+                ::testing::ExitedWithCode(2), "on or off");
+}
+
+TEST(KnobParseDeath, DecodeCacheEntriesShareTheStrictParser)
+{
+    EXPECT_EXIT(parseOneFlag("--decode-cache-entries=-1"),
+                ::testing::ExitedWithCode(2), "--decode-cache-entries");
+    EXPECT_EXIT(parseOneFlag("--decode-cache-entries=abc"),
+                ::testing::ExitedWithCode(2), "--decode-cache-entries");
+    EXPECT_EXIT(parseOneFlag("--decode-cache-entries= 8"),
+                ::testing::ExitedWithCode(2), "--decode-cache-entries");
+    EXPECT_EXIT(parseOneFlag("--decode-cache-entries=8 "),
+                ::testing::ExitedWithCode(2), "--decode-cache-entries");
+    // 0 parses but fails cross-validation: a zero-entry cache can
+    // serve nothing.
+    EXPECT_EXIT(parseOneFlag("--decode-cache-entries=0"),
+                ::testing::ExitedWithCode(2), "at least 1");
+}
+
+TEST(KnobParseDeath, DecodeCacheEnvPathIsStrictToo)
+{
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_DECODE_CACHE", "true", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_DECODE_CACHE");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_DECODE_CACHE_ENTRIES", "64k", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_DECODE_CACHE_ENTRIES");
+}
+
+TEST(KnobParse, DecodeCacheFlagOverridesEnv)
+{
+    // Flags win over the environment, same as every other knob.
+    setenv("FIRESIM_DECODE_CACHE", "off", 1);
+    parseOneFlag("--decode-cache=on");
+    EXPECT_TRUE(bench::decodeCacheRef());
+    unsetenv("FIRESIM_DECODE_CACHE");
+}
+
 } // namespace
 } // namespace firesim

@@ -348,5 +348,85 @@ TEST(MmioBusTest, UnmappedAccessPanics)
     EXPECT_DEATH(bus.read(0xdead, 8), "unmapped");
 }
 
+namespace
+{
+/** Map [base, base+0x100) returning a fixed value on any read. */
+void
+mapConst(MmioBus &bus, uint64_t base, uint64_t value)
+{
+    bus.map(
+        base, 0x100,
+        [value](uint64_t, uint32_t) { return value; },
+        [](uint64_t, uint64_t, uint32_t) {}, "const");
+}
+} // namespace
+
+TEST(MmioBusTest, OutOfOrderMappingDispatchesCorrectly)
+{
+    // Regions arrive unsorted; find() binary-searches the sorted list,
+    // so every region must resolve regardless of insertion order.
+    MmioBus bus;
+    mapConst(bus, 0x3000, 3);
+    mapConst(bus, 0x1000, 1);
+    mapConst(bus, 0x4000, 4);
+    mapConst(bus, 0x2000, 2);
+
+    EXPECT_EQ(bus.read(0x1000, 8), 1u);
+    EXPECT_EQ(bus.read(0x20ff, 1), 2u);
+    EXPECT_EQ(bus.read(0x3080, 4), 3u);
+    EXPECT_EQ(bus.read(0x4000, 8), 4u);
+
+    EXPECT_TRUE(bus.contains(0x1000));
+    EXPECT_TRUE(bus.contains(0x10ff));
+    EXPECT_FALSE(bus.contains(0x0fff));
+    EXPECT_FALSE(bus.contains(0x1100));
+    EXPECT_FALSE(bus.contains(0x2100));
+    EXPECT_FALSE(bus.contains(0x4100));
+}
+
+TEST(MmioBusTest, LastHitCacheSurvivesAlternatingAccess)
+{
+    // Device-polling loops hammer one window; the last-hit cache must
+    // serve repeats without misrouting accesses to OTHER regions or
+    // swallowing unmapped addresses between regions.
+    MmioBus bus;
+    mapConst(bus, 0x2000, 2);
+    mapConst(bus, 0x1000, 1);
+
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(bus.read(0x1000, 8), 1u); // repeat: cached index
+        EXPECT_EQ(bus.read(0x1008, 8), 1u);
+        EXPECT_EQ(bus.read(0x2000, 8), 2u); // switch regions
+        EXPECT_FALSE(bus.contains(0x1800)); // gap between the two
+    }
+
+    // Mapping after lookups (insert may reallocate/shift the sorted
+    // vector) must not leave a stale cached index behind.
+    mapConst(bus, 0x0000, 7);
+    EXPECT_EQ(bus.read(0x0000, 8), 7u);
+    EXPECT_EQ(bus.read(0x1000, 8), 1u);
+    EXPECT_EQ(bus.read(0x2000, 8), 2u);
+}
+
+TEST(MmioBusTest, OverlapRejectedAnyInsertionOrder)
+{
+    // A new region overlapping an EARLIER base must also be caught —
+    // the check has to consider both sorted neighbors.
+    MmioBus bus;
+    mapConst(bus, 0x2000, 2);
+    EXPECT_EXIT(mapConst(bus, 0x1f80, 1), ::testing::ExitedWithCode(1),
+                "overlaps");
+}
+
+TEST(MmioBusTest, OverlapRejectedEnclosingRegion)
+{
+    MmioBus bus;
+    mapConst(bus, 0x2000, 2);
+    EXPECT_EXIT(bus.map(0x1000, 0x4000,
+                        [](uint64_t, uint32_t) { return uint64_t(0); },
+                        [](uint64_t, uint64_t, uint32_t) {}, "big"),
+                ::testing::ExitedWithCode(1), "overlaps");
+}
+
 } // namespace
 } // namespace firesim
