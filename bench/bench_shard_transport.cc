@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Round-barrier latency of the shard-transport bridge fabrics (paper
+ * Section III-B: token channels ride "whatever fabric the host
+ * platform offers" — the fabric choice sets the floor on distributed
+ * simulation rate, because every quantum ends in one barrier).
+ *
+ * Workload: two raw ShardTransports on two threads, one bidirectional
+ * cross-shard link, one small token batch per direction per round —
+ * the steady-state shape of a sharded Cluster with the simulation work
+ * stripped away, so the measured ns/round is almost pure transport.
+ * Fabrics: AF_UNIX socketpair (the kernel-socket baseline), the
+ * lock-free shared-memory rings (--shard-shm-ring sizes them), and the
+ * in-process loopback queue pair as the no-kernel reference point.
+ *
+ * The headline number is the shm-vs-unix speedup: the rings replace
+ * two kernel round trips per barrier (send + blocking recv) with
+ * cache-line traffic. Results land in BENCH_shm.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/table.hh"
+#include "bench/common.hh"
+#include "net/remote/peer_link.hh"
+#include "net/remote/shard_transport.hh"
+#include "net/remote/socket.hh"
+
+using namespace firesim;
+
+namespace
+{
+
+constexpr Cycles kQuantum = 400;
+
+enum class Fabric
+{
+    Unix,
+    Shm,
+    Loopback,
+};
+
+const char *
+fabricName(Fabric f)
+{
+    switch (f) {
+      case Fabric::Unix:
+        return "unix";
+      case Fabric::Shm:
+        return "shm";
+      case Fabric::Loopback:
+        return "loopback";
+    }
+    return "?";
+}
+
+/** One rank's half of the benchmark mesh. */
+struct Rank
+{
+    std::unique_ptr<ShardTransport> transport;
+    TokenChannel rx{kQuantum, kQuantum};
+};
+
+/** Build the two-rank mesh over @p fabric. Link id 0 flows 0 -> 1,
+ *  link id 1 flows 1 -> 0, so every barrier is a real round trip. */
+void
+buildMesh(Fabric fabric, Rank &r0, Rank &r1)
+{
+    ShardTransport::Options opts0, opts1;
+    opts0.rank = 0;
+    opts1.rank = 1;
+    opts0.shards = opts1.shards = 2;
+    opts0.shmRingBytes = opts1.shmRingBytes = bench::shardShmRingRef();
+    if (fabric == Fabric::Shm)
+        opts0.transport = opts1.transport = TransportKind::Shm;
+
+    if (fabric == Fabric::Loopback) {
+        auto [end0, end1] = loopbackLinkPair();
+        std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>> l0,
+            l1;
+        l0.emplace_back(1, std::move(end0));
+        l1.emplace_back(0, std::move(end1));
+        r0.transport =
+            ShardTransport::fromLinks(opts0, std::move(l0), 7);
+        r1.transport =
+            ShardTransport::fromLinks(opts1, std::move(l1), 7);
+    } else {
+        auto [fd0, fd1] = localSocketPair();
+        std::vector<std::pair<uint32_t, SocketFd>> v0, v1;
+        v0.emplace_back(1, std::move(fd0));
+        v1.emplace_back(0, std::move(fd1));
+        r0.transport = ShardTransport::fromFds(opts0, std::move(v0), 7);
+        r1.transport = ShardTransport::fromFds(opts1, std::move(v1), 7);
+    }
+
+    r0.transport->bindTxLink(0, 1);
+    r1.transport->bindRxChannel(0, 0, &r1.rx);
+    r1.transport->bindTxLink(1, 0);
+    r0.transport->bindRxChannel(1, 1, &r0.rx);
+    r0.rx.setLabel("bench 0<-1");
+    r1.rx.setLabel("bench 1<-0");
+}
+
+/** Drive @p rounds barriers on one rank: pop the inbound batch, ship
+ *  one small batch, barrier. Mirrors the fabric's round discipline. */
+void
+driveRank(Rank &rank, uint32_t tx_link, uint64_t rounds)
+{
+    for (uint64_t r = 0; r < rounds; ++r) {
+        TokenBatch in = rank.rx.pop();
+        (void)in;
+        TokenBatch out(Cycles(r) * kQuantum, kQuantum);
+        Flit f;
+        f.offset = static_cast<uint32_t>(r % kQuantum);
+        f.size = 8;
+        for (int b = 0; b < 8; ++b)
+            f.data[b] = static_cast<uint8_t>(r >> (b * 8));
+        f.last = true;
+        out.push(f);
+        rank.transport->onTxBatch(tx_link, out);
+        rank.transport->onRoundComplete(r, Cycles(r) * kQuantum);
+    }
+}
+
+/** Best-of-@p trials ns/round for @p fabric. */
+double
+measure(Fabric fabric, uint64_t rounds, int trials)
+{
+    double best = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        Rank r0, r1;
+        buildMesh(fabric, r0, r1);
+        std::thread peer([&] { driveRank(r1, 1, rounds); });
+        bench::Stopwatch watch;
+        driveRank(r0, 0, rounds);
+        double ns =
+            watch.seconds() * 1e9 / static_cast<double>(rounds);
+        peer.join();
+        r0.transport->shutdown();
+        r1.transport->shutdown();
+        if (t == 0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+void
+writeBenchJson(const char *path, uint64_t rounds, double unix_ns,
+               double shm_ns, double loop_ns)
+{
+    FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "could not open %s for writing\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"shard_transport_barrier\",\n"
+                 "  \"rounds\": %llu,\n"
+                 "  \"ring_bytes\": %u,\n"
+                 "  \"barrier_ns\": {\n"
+                 "    \"unix\": %.1f,\n"
+                 "    \"shm\": %.1f,\n"
+                 "    \"loopback\": %.1f\n"
+                 "  },\n"
+                 "  \"shm_speedup_vs_unix\": %.3f\n"
+                 "}\n",
+                 (unsigned long long)rounds, bench::shardShmRingRef(),
+                 unix_ns, shm_ns, loop_ns,
+                 shm_ns > 0 ? unix_ns / shm_ns : 0.0);
+    std::fclose(f);
+    std::printf("Results written to %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseCommonFlags(argc, argv);
+    bench::banner("shard-transport",
+                  "round-barrier latency across bridge fabrics");
+
+    const uint64_t rounds = bench::fullScale() ? 400000 : 40000;
+    const int trials = 3;
+    std::printf("%llu rounds per trial, best of %d; one 8-byte flit "
+                "per direction per round\n\n",
+                (unsigned long long)rounds, trials);
+
+    double ns[3] = {0, 0, 0};
+    Fabric order[3] = {Fabric::Unix, Fabric::Shm, Fabric::Loopback};
+    Table table({"fabric", "ns/round", "rounds/s", "vs unix"});
+    for (int i = 0; i < 3; ++i) {
+        ns[i] = measure(order[i], rounds, trials);
+        table.addRow({fabricName(order[i]), Table::fmt(ns[i], 0),
+                      Table::fmt(1e9 / ns[i], 0),
+                      Table::fmt(ns[0] > 0 ? ns[0] / ns[i] : 0.0, 2) +
+                          "x"});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\n%s\n",
+                bench::paperRef("same-host links ride shared memory; "
+                                "the socket hop disappears from the "
+                                "round barrier")
+                    .c_str());
+    if (ns[1] < ns[0]) {
+        std::printf("shm rings beat the AF_UNIX barrier by %.2fx\n",
+                    ns[0] / ns[1]);
+    } else {
+        std::printf("WARNING: shm (%.0f ns) did not beat unix "
+                    "(%.0f ns) on this host\n",
+                    ns[1], ns[0]);
+    }
+    writeBenchJson("BENCH_shm.json", rounds, ns[0], ns[1], ns[2]);
+    return 0;
+}

@@ -19,6 +19,7 @@
 
 #include "base/table.hh"
 #include "base/units.hh"
+#include "net/remote/peer_link.hh"
 #include "net/sched.hh"
 
 namespace firesim::bench
@@ -244,6 +245,38 @@ parseShardConnectKnob(const char *what, const char *text)
     shardBasePortRef() = port;
 }
 
+/** Cross-shard fabric preference (--shard-transport): auto negotiates
+ *  shm for same-host peers, tcp across hosts. */
+inline TransportKind &
+shardTransportRef()
+{
+    static TransportKind kind = TransportKind::Auto;
+    return kind;
+}
+
+/** Per-direction shm ring capacity in bytes (--shard-shm-ring);
+ *  rounded up to a power of two by the link. */
+inline unsigned &
+shardShmRingRef()
+{
+    static unsigned bytes = 1u << 20;
+    return bytes;
+}
+
+/** Parse auto|shm|tcp|unix for --shard-transport or exit(2). */
+inline TransportKind
+parseTransportKnob(const char *what, const char *text)
+{
+    TransportKind kind;
+    if (!text || !parseTransportKind(text, kind)) {
+        std::fprintf(stderr,
+                     "error: %s expects auto, shm, tcp, or unix, got "
+                     "'%s'\n", what, text ? text : "");
+        std::exit(2);
+    }
+    return kind;
+}
+
 /** Snapshot path for periodic/final checkpoints (--checkpoint). */
 inline std::string &
 checkpointPathRef()
@@ -388,6 +421,14 @@ parseSchedKnob(const char *what, const char *text)
  *   --shard-connect-timeout=MS  cap the whole rendezvous connect loop
  *                            (env FIRESIM_SHARD_CONNECT_TIMEOUT; 0 =
  *                            attempt-bounded only)
+ *   --shard-transport=KIND   cross-shard fabric: auto | shm | tcp |
+ *                            unix (env FIRESIM_SHARD_TRANSPORT;
+ *                            default auto — shm for same-host peers,
+ *                            tcp across hosts)
+ *   --shard-shm-ring=BYTES   per-direction shm ring capacity, rounded
+ *                            up to a power of two
+ *                            (env FIRESIM_SHARD_SHM_RING;
+ *                            default 1048576)
  *   --checkpoint=PATH        snapshot file for periodic + final
  *                            checkpoints (env FIRESIM_CHECKPOINT)
  *   --checkpoint-every=N     checkpoint every N fabric rounds
@@ -439,6 +480,12 @@ parseCommonFlags(int argc, char **argv)
     if (const char *env = std::getenv("FIRESIM_SHARD_CONNECT_TIMEOUT"))
         shardConnectTimeoutMsRef() =
             parseUnsignedKnob("FIRESIM_SHARD_CONNECT_TIMEOUT", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_TRANSPORT"))
+        shardTransportRef() =
+            parseTransportKnob("FIRESIM_SHARD_TRANSPORT", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_SHM_RING"))
+        shardShmRingRef() =
+            parseUnsignedKnob("FIRESIM_SHARD_SHM_RING", env);
     if (const char *env = std::getenv("FIRESIM_CHECKPOINT"))
         checkpointPathRef() = env;
     if (const char *env = std::getenv("FIRESIM_CHECKPOINT_EVERY"))
@@ -472,6 +519,8 @@ parseCommonFlags(int argc, char **argv)
     const std::string rank_flag = "--shard-rank=";
     const std::string connect_flag = "--shard-connect=";
     const std::string ctimeout_flag = "--shard-connect-timeout=";
+    const std::string transport_flag = "--shard-transport=";
+    const std::string shm_ring_flag = "--shard-shm-ring=";
     const std::string ckpt_flag = "--checkpoint=";
     const std::string ckpt_every_flag = "--checkpoint-every=";
     const std::string restore_flag = "--restore=";
@@ -506,6 +555,13 @@ parseCommonFlags(int argc, char **argv)
             shardConnectTimeoutMsRef() = parseUnsignedKnob(
                 "--shard-connect-timeout",
                 arg.c_str() + ctimeout_flag.size());
+        else if (arg.rfind(transport_flag, 0) == 0)
+            shardTransportRef() = parseTransportKnob(
+                "--shard-transport",
+                arg.c_str() + transport_flag.size());
+        else if (arg.rfind(shm_ring_flag, 0) == 0)
+            shardShmRingRef() = parseUnsignedKnob(
+                "--shard-shm-ring", arg.c_str() + shm_ring_flag.size());
         else if (arg.rfind(ckpt_flag, 0) == 0)
             checkpointPathRef() = arg.substr(ckpt_flag.size());
         else if (arg.rfind(ckpt_every_flag, 0) == 0)
@@ -556,6 +612,11 @@ parseCommonFlags(int argc, char **argv)
                      shards());
         std::exit(2);
     }
+    if (shardShmRingRef() == 0) {
+        std::fprintf(stderr,
+                     "error: --shard-shm-ring must be at least 1\n");
+        std::exit(2);
+    }
     if (checkpointEveryRef() != 0 && checkpointPathRef().empty()) {
         std::fprintf(stderr, "error: --checkpoint-every=%u needs "
                              "--checkpoint=PATH\n",
@@ -581,9 +642,10 @@ parseCommonFlags(int argc, char **argv)
                     schedPolicyName(schedPolicy()), switchSlicePorts());
     if (shards() > 1)
         std::printf("[bench] distributed: shard %u of %u, rendezvous "
-                    "%s:%u\n",
+                    "%s:%u, transport %s\n",
                     shardRank(), shards(),
-                    shardConnectHostRef().c_str(), shardBasePortRef());
+                    shardConnectHostRef().c_str(), shardBasePortRef(),
+                    transportKindName(shardTransportRef()));
 }
 
 /**
@@ -604,6 +666,8 @@ applyClusterFlags(ClusterConfigT &cc)
     cc.shard.basePort = static_cast<uint16_t>(shardBasePortRef());
     cc.shard.connectTimeoutMs =
         static_cast<int>(shardConnectTimeoutMsRef());
+    cc.shard.transport = shardTransportRef();
+    cc.shard.shmRingBytes = shardShmRingRef();
     cc.monitor.heartbeatEvery = heartbeatEveryRef();
     cc.monitor.statusIntervalSec = statusIntervalRef();
     cc.monitor.metricsPath = metricsFileRef();

@@ -150,6 +150,21 @@ Cluster::saveSnapshot(const std::string &path)
                      stripHostTimingStats(
                          telemetry_->registry().dumpJson(fabric_.now())));
     }
+    if (transport_) {
+        // The negotiated per-peer transport mix, recorded so a restore
+        // can report what the original run used. Advisory only: results
+        // are byte-identical across fabrics (the parity matrix in
+        // tests/dist pins this), so restoring over a different mix is
+        // legal and loadSnapshot merely warns.
+        Serializer s;
+        s.putU(transport_->peerRanks().size());
+        for (size_t i = 0; i < transport_->peerRanks().size(); ++i) {
+            s.putU(transport_->peerRanks()[i]);
+            s.putU(static_cast<uint64_t>(
+                transport_->peerLinkAt(i)->kind()));
+        }
+        w.addSection("transport", s.takeBytes());
+    }
 
     return w.writeFile(
         snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank));
@@ -234,6 +249,33 @@ Cluster::loadSnapshot(const std::string &path)
                       "cluster has no sampler configured");
     else if (haveSampler)
         restore("autocounter", *telemetry_->sampler());
+
+    // Transport mix is advisory: a snapshot taken over shm restores
+    // fine over TCP (and vice versa) because the simulation surface is
+    // transport-independent. Resume re-establishes whatever mix this
+    // relaunch negotiated; a difference is only worth a warning.
+    if (transport_ && r.hasSection("transport")) {
+        SnapshotErrors ignored;
+        Deserializer d(r.section("transport", ignored));
+        uint64_t n = d.getU();
+        for (uint64_t i = 0; d.ok() && i < n; ++i) {
+            uint32_t peer = static_cast<uint32_t>(d.getU());
+            auto saved = static_cast<TransportKind>(d.getU());
+            if (!d.ok())
+                break;
+            const auto &pranks = transport_->peerRanks();
+            for (size_t p = 0; p < pranks.size(); ++p) {
+                if (pranks[p] != peer)
+                    continue;
+                TransportKind live = transport_->peerLinkAt(p)->kind();
+                if (live != saved)
+                    warn("snapshot reached peer rank %u via %s, this "
+                         "run uses %s (legal: results are transport-"
+                         "independent)", peer, transportKindName(saved),
+                         transportKindName(live));
+            }
+        }
+    }
 
     // Final byte-identity check: with every counter applied, the stat
     // dump must reproduce the saved one exactly. Skipped when the

@@ -60,6 +60,20 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config)
 {}
 
 Cluster::Cluster(SwitchSpec root, ClusterConfig config,
+                 std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>>
+                     peer_links)
+    : topo(std::move(root)), cfg(std::move(config))
+{
+    if (topo.downlinkCount() == 0)
+        fatal("cluster topology has an empty root switch");
+    if (cfg.shard.shards <= 1)
+        fatal("peer links passed to a single-process cluster");
+    if (cfg.functionalWindow)
+        fabric_.setFunctionalMode(cfg.functionalWindow);
+    buildSharded({}, std::move(peer_links));
+}
+
+Cluster::Cluster(SwitchSpec root, ClusterConfig config,
                  std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
     : topo(std::move(root)), cfg(config)
 {
@@ -70,7 +84,7 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config,
         fabric_.setFunctionalMode(cfg.functionalWindow);
 
     if (cfg.shard.shards > 1) {
-        buildSharded(std::move(peer_fds));
+        buildSharded(std::move(peer_fds), {});
         return;
     }
     if (!peer_fds.empty())
@@ -121,7 +135,9 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config,
 }
 
 void
-Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
+Cluster::buildSharded(
+    std::vector<std::pair<uint32_t, SocketFd>> peer_fds,
+    std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>> peer_links)
 {
     const ShardSpec &ss = cfg.shard;
     if (ss.rank >= ss.shards)
@@ -289,11 +305,22 @@ Cluster::buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds)
     // when a telemetry bundle will exist to snapshot.
     topts.statsEvery =
         cfg.telemetry.enabled ? cfg.telemetry.aggregateEvery : 0;
-    transport_ =
-        peer_fds.empty()
-            ? ShardTransport::rendezvousTcp(topts, plan.topoHash)
-            : ShardTransport::fromFds(topts, std::move(peer_fds),
-                                      plan.topoHash);
+    topts.transport = ss.transport;
+    topts.shmRingBytes = ss.shmRingBytes;
+    if (!peer_links.empty()) {
+        transport_ = ShardTransport::fromLinks(
+            topts, std::move(peer_links), plan.topoHash);
+    } else if (!peer_fds.empty()) {
+        transport_ = ShardTransport::fromFds(topts, std::move(peer_fds),
+                                             plan.topoHash);
+    } else {
+        transport_ = ShardTransport::rendezvousTcp(topts, plan.topoHash);
+    }
+    for (size_t i = 0; i < transport_->peerRanks().size(); ++i) {
+        inform("shard %u: peer rank %u via %s", ss.rank,
+               transport_->peerRanks()[i],
+               transport_->peerLinkAt(i)->describe().c_str());
+    }
     for (const CrossBinding &b : cross) {
         if (b.rx) {
             transport_->bindRxChannel(b.linkId, b.peer,
@@ -441,6 +468,34 @@ Cluster::setupTelemetry()
                 return static_cast<double>(
                     tr->peerStatsAt(i).roundsBarriered);
             });
+            // Bridge-layer accounting. Everything under cluster.shard.
+            // is host-side and stripped by the parity differ, so the
+            // fabric choice can never leak into the deterministic
+            // simulation surface.
+            reg.registerProbe(pp + ".transport.kind", [tr, i] {
+                return static_cast<double>(
+                    static_cast<uint8_t>(tr->peerLinkAt(i)->kind()));
+            });
+            // Ring counters are registered for every fabric (zero on
+            // links without rings): the AutoCounter sampler pins its
+            // column set at the first sample and a snapshot restores
+            // that set verbatim, so the registry shape must not vary
+            // with the transport choice — only values may.
+            auto shmStat = [tr, i](auto field) {
+                const ShmLinkStats *s = tr->peerLinkAt(i)->shmStats();
+                return s ? static_cast<double>(s->*field) : 0.0;
+            };
+            reg.registerProbe(pp + ".transport.ringBytes", [shmStat] {
+                return shmStat(&ShmLinkStats::ringBytes);
+            });
+            reg.registerProbe(
+                pp + ".transport.bytesViaRing", [shmStat] {
+                    return shmStat(&ShmLinkStats::bytesViaRing);
+                });
+            reg.registerProbe(
+                pp + ".transport.txRingFullWaits", [shmStat] {
+                    return shmStat(&ShmLinkStats::txRingFullWaits);
+                });
             if (cfg.telemetry.schedStats) {
                 reg.registerProbe(pp + ".stallNs", [tr, i] {
                     return static_cast<double>(

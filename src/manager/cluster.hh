@@ -179,6 +179,16 @@ class Cluster
     Cluster(SwitchSpec root, ClusterConfig config,
             std::vector<std::pair<uint32_t, SocketFd>> peer_fds);
 
+    /**
+     * Sharded build over caller-supplied transport bridges: one
+     * (peer_rank, PeerLink) pair per peer shard — any fabric,
+     * including loopbackLinkPair() for in-process tests. Requires
+     * config.shard.shards > 1.
+     */
+    Cluster(SwitchSpec root, ClusterConfig config,
+            std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>>
+                peer_links);
+
     /** Dumps telemetry into TelemetryConfig::dumpDir when configured. */
     ~Cluster();
 
@@ -310,7 +320,9 @@ class Cluster
      * the health monitor so peer loss mid-run can be recorded.
      */
     void
-    buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds);
+    buildSharded(std::vector<std::pair<uint32_t, SocketFd>> peer_fds,
+                 std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>>
+                     peer_links);
 
     /** Build the telemetry bundle, register every component's stats,
      *  and attach the configured fabric observers. */

@@ -33,6 +33,7 @@
 
 #include "base/units.hh"
 #include "manager/topology.hh"
+#include "net/remote/peer_link.hh"
 
 namespace firesim
 {
@@ -52,6 +53,13 @@ struct ShardSpec
     int connectTimeoutMs = 0;
     /** Abort instead of degrading when a peer shard is lost. */
     bool failFast = false;
+    /** Cross-shard fabric (--shard-transport): Auto negotiates shm
+     *  for same-host peers and TCP across hosts; Shm demands the
+     *  shared-memory rings; Tcp/Unix pin the socket paths. */
+    TransportKind transport = TransportKind::Auto;
+    /** Per-direction shm ring capacity in bytes (rounded up to a
+     *  power of two); must be symmetric across the mesh. */
+    size_t shmRingBytes = 1 << 20;
 };
 
 /**

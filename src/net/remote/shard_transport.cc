@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <poll.h>
+#include <thread>
 
 #include "base/logging.hh"
+#include "net/remote/shm_ring.hh"
+#include "net/remote/socket_link.hh"
 
 namespace firesim
 {
@@ -19,6 +23,101 @@ elapsedNs(SteadyClock::time_point t0)
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                SteadyClock::now() - t0)
         .count();
+}
+
+/** Compact a consumed rxBuf prefix once it crosses this size (and
+ *  dominates the buffer) — amortizes the memmove that used to run on
+ *  every parsed frame. */
+constexpr size_t kRxCompactBytes = 64 * 1024;
+
+/** Barrier poll slices for ring-backed links, which cannot signal
+ *  data arrival through poll(): re-probe immediately twice, then back
+ *  off to bounded sleeps. Reset on any progress. */
+constexpr int kRingSlicesMs[] = {0, 0, 1, 1, 2, 4, 8};
+constexpr size_t kRingSliceCount =
+    sizeof(kRingSlicesMs) / sizeof(kRingSlicesMs[0]);
+
+/** Spin-probe window for ring-backed links before the barrier falls
+ *  back to poll sleeps. A same-host barrier usually resolves in
+ *  single-digit microseconds; the first sleep slice is a millisecond,
+ *  which would dominate every round of a fast simulation. Bounded so
+ *  a genuinely late peer costs at most this much busy CPU per
+ *  escalation cycle. */
+constexpr int64_t kRingSpinNs = 100 * 1000;
+
+/**
+ * Blocking read of one frame straight off a rendezvous socket, before
+ * any PeerLink exists (fatal on timeout/EOF — a shard that cannot
+ * finish its handshake can never join the barrier). Leftover bytes
+ * stay in @p rx_buf for the link to inherit.
+ */
+Frame
+recvFrameRaw(const SocketFd &sock, std::string &rx_buf,
+             uint64_t &bytes_rx, int timeout_ms, uint32_t local_rank,
+             uint32_t peer_rank)
+{
+    auto deadline =
+        SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+    Frame f;
+    size_t pos = 0;
+    while (!decodeFrame(rx_buf, pos, f)) {
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - SteadyClock::now())
+                        .count();
+        if (left <= 0 || pollIn(sock.fd(), static_cast<int>(left)) <= 0)
+            fatal("shard %u: handshake with rank %u timed out",
+                  local_rank, peer_rank);
+        char tmp[4096];
+        long n = recvSome(sock.fd(), tmp, sizeof(tmp));
+        if (n <= 0)
+            fatal("shard %u: rank %u vanished during handshake",
+                  local_rank, peer_rank);
+        rx_buf.append(tmp, static_cast<size_t>(n));
+        bytes_rx += static_cast<uint64_t>(n);
+    }
+    rx_buf.erase(0, pos);
+    return f;
+}
+
+/**
+ * Decide the fabric for one rendezvous pair from both Hellos. The
+ * rule is a pure function of (local pref, peer pref, same host), so
+ * both ends reach the same answer independently: an explicit `shm` on
+ * either side demands shm (fatal across hosts or against an explicit
+ * socket choice), `auto`+`auto` on one host picks shm, anything else
+ * is TCP. `unix` degrades to TCP here — the socketpair fast path is
+ * fromFds, not the rendezvous.
+ */
+TransportKind
+negotiateTransport(const ShardTransport::Options &opts,
+                   uint32_t peer_rank, uint32_t peer_pref_raw,
+                   uint64_t peer_token, uint64_t local_token)
+{
+    auto canon = [](TransportKind k) {
+        return k == TransportKind::Unix ? TransportKind::Tcp : k;
+    };
+    TransportKind local = canon(opts.transport);
+    TransportKind peer = canon(static_cast<TransportKind>(peer_pref_raw));
+    bool same_host = peer_token == local_token;
+    if (local == TransportKind::Shm || peer == TransportKind::Shm) {
+        if (local == TransportKind::Tcp || peer == TransportKind::Tcp)
+            fatal("shard %u: transport mismatch with rank %u "
+                  "(local --shard-transport=%s, peer %s)",
+                  opts.rank, peer_rank,
+                  transportKindName(opts.transport),
+                  transportKindName(peer));
+        if (!same_host)
+            fatal("shard %u: --shard-transport=shm but rank %u runs on "
+                  "a different host (host tokens %016llx != %016llx)",
+                  opts.rank, peer_rank,
+                  (unsigned long long)local_token,
+                  (unsigned long long)peer_token);
+        return TransportKind::Shm;
+    }
+    if (local == TransportKind::Auto && peer == TransportKind::Auto &&
+        same_host)
+        return TransportKind::Shm;
+    return TransportKind::Tcp;
 }
 
 } // namespace
@@ -57,23 +156,60 @@ ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
         t->ranks.push_back(q);
     }
 
+    uint64_t host_token = localHostToken();
     std::string hello;
-    encodeHello(hello, opts.rank, opts.shards, topo_hash);
+    encodeHello(hello, opts.rank, opts.shards, topo_hash,
+                static_cast<uint32_t>(opts.transport), host_token);
+
+    // Once a pair's Hellos are exchanged, both ends independently
+    // negotiate the fabric and build the link. For shm the TCP socket
+    // survives as the control channel (the creator's segment
+    // announcement and the death watch); bytes a fast creator already
+    // pushed behind its Hello are handed to the link as announcement
+    // carry. For TCP they are round-0 traffic and stay in rxBuf.
+    auto establish = [&](Peer &peer, SocketFd sock, const Frame &f,
+                         std::string carry) {
+        t->validateHello(peer, f);
+        TransportKind kind = negotiateTransport(
+            opts, peer.rank, f.transport, f.hostToken, host_token);
+        if (kind == TransportKind::Shm) {
+            bool creator = opts.rank < peer.rank;
+            FS_ASSERT(!creator || carry.empty(),
+                      "shard %u: unexpected %zu control bytes from "
+                      "opener rank %u",
+                      opts.rank, carry.size(), peer.rank);
+            peer.link = makeShmLink(
+                std::move(sock), creator, opts.shmRingBytes,
+                csprintf("r%ur%u", std::min(opts.rank, peer.rank),
+                         std::max(opts.rank, peer.rank)),
+                std::move(carry));
+        } else {
+            peer.link = makeSocketLink(
+                std::move(sock), TransportKind::Tcp,
+                csprintf("tcp %s:%u", opts.host.c_str(),
+                         opts.basePort + peer.rank));
+            peer.rxBuf = std::move(carry);
+        }
+        debug("shard %u: rank %u via %s", opts.rank, peer.rank,
+              peer.link->describe().c_str());
+    };
 
     // Connect side: lower ranks are already listening (or will be
     // shortly — bounded-backoff retry absorbs the startup race). The
     // connector speaks first so the acceptor can identify it.
     for (uint32_t q = 0; q < opts.rank; ++q) {
         Peer &peer = t->peers[t->peerIndexOf(q)];
-        peer.sock = tcpConnectRetry(
+        SocketFd sock = tcpConnectRetry(
             opts.host, static_cast<uint16_t>(opts.basePort + q),
             opts.connectAttempts, opts.connectBackoffMs,
             opts.backoffCapMs, opts.connectTimeoutMs);
-        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
+        if (!sendAll(sock.fd(), hello.data(), hello.size()))
             fatal("shard %u: hello send to rank %u failed", opts.rank, q);
         peer.stats.bytesTx += hello.size();
-        Frame f = t->recvFrameBlocking(peer, opts.recvTimeoutMs);
-        t->validateHello(peer, f);
+        std::string carry;
+        Frame f = recvFrameRaw(sock, carry, peer.stats.bytesRx,
+                               opts.recvTimeoutMs, opts.rank, q);
+        establish(peer, std::move(sock), f, std::move(carry));
     }
 
     // Accept side: identify each incoming connection by its Hello.
@@ -83,28 +219,25 @@ ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
         if (!sock.valid())
             fatal("shard %u: timed out waiting for %u more peer shard(s)",
                   opts.rank, expected - i);
-        Peer probe;
-        probe.rank = opts.shards; // unidentified
-        probe.sock = std::move(sock);
-        Frame f = t->recvFrameBlocking(probe, opts.recvTimeoutMs);
+        std::string carry;
+        uint64_t probe_rx = 0;
+        Frame f = recvFrameRaw(sock, carry, probe_rx,
+                               opts.recvTimeoutMs, opts.rank,
+                               opts.shards);
         if (f.type != FrameType::Hello)
             fatal("shard %u: peer spoke before hello", opts.rank);
         if (f.rank <= opts.rank || f.rank >= opts.shards)
             fatal("shard %u: unexpected hello from rank %u", opts.rank,
                   f.rank);
         Peer &peer = t->peers[t->peerIndexOf(f.rank)];
-        if (peer.sock.valid())
+        if (peer.link)
             fatal("shard %u: rank %u connected twice", opts.rank, f.rank);
-        peer.sock = std::move(probe.sock);
-        // A fast peer may already have sent round-0 traffic behind its
-        // hello; keep those bytes.
-        peer.rxBuf = std::move(probe.rxBuf);
-        peer.stats.bytesRx = probe.stats.bytesRx;
-        t->validateHello(peer, f);
-        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
+        peer.stats.bytesRx += probe_rx;
+        if (!sendAll(sock.fd(), hello.data(), hello.size()))
             fatal("shard %u: hello send to rank %u failed", opts.rank,
                   f.rank);
         peer.stats.bytesTx += hello.size();
+        establish(peer, std::move(sock), f, std::move(carry));
     }
 
     return t;
@@ -115,34 +248,71 @@ ShardTransport::fromFds(const Options &opts,
                         std::vector<std::pair<uint32_t, SocketFd>> fds,
                         uint64_t topo_hash)
 {
+    // Auto keeps the fds as the byte stream itself (the caller chose
+    // the socketpair fast path; honor it); only an explicit `shm`
+    // upgrades each fd into the control socket of a ring pair.
+    std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>> links;
+    links.reserve(fds.size());
+    for (auto &[peer_rank, sock] : fds) {
+        std::unique_ptr<PeerLink> link;
+        if (opts.transport == TransportKind::Shm) {
+            link = makeShmLink(
+                std::move(sock), opts.rank < peer_rank,
+                opts.shmRingBytes,
+                csprintf("r%ur%u", std::min(opts.rank, peer_rank),
+                         std::max(opts.rank, peer_rank)));
+        } else {
+            link = makeSocketLink(std::move(sock), TransportKind::Unix,
+                                  "unix socketpair");
+        }
+        links.emplace_back(peer_rank, std::move(link));
+    }
+    return fromLinks(opts, std::move(links), topo_hash);
+}
+
+std::unique_ptr<ShardTransport>
+ShardTransport::fromLinks(
+    const Options &opts,
+    std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>> links,
+    uint64_t topo_hash)
+{
     std::unique_ptr<ShardTransport> t(
         new ShardTransport(opts, topo_hash));
-    FS_ASSERT(fds.size() == opts.shards - 1,
-              "fromFds: %zu fds for %u shards", fds.size(), opts.shards);
+    FS_ASSERT(links.size() == opts.shards - 1,
+              "fromLinks: %zu links for %u shards", links.size(),
+              opts.shards);
 
-    std::sort(fds.begin(), fds.end(),
+    std::sort(links.begin(), links.end(),
               [](const auto &a, const auto &b) { return a.first < b.first; });
 
-    std::string hello;
-    encodeHello(hello, opts.rank, opts.shards, topo_hash);
-    for (auto &[peer_rank, sock] : fds) {
+    for (auto &[peer_rank, link] : links) {
         FS_ASSERT(peer_rank < opts.shards && peer_rank != opts.rank,
-                  "fromFds: bad peer rank %u", peer_rank);
+                  "fromLinks: bad peer rank %u", peer_rank);
         FS_ASSERT(t->ranks.empty() || t->ranks.back() != peer_rank,
-                  "fromFds: duplicate peer rank %u", peer_rank);
+                  "fromLinks: duplicate peer rank %u", peer_rank);
+        FS_ASSERT(link != nullptr, "fromLinks: null link for rank %u",
+                  peer_rank);
         Peer peer;
         peer.rank = peer_rank;
-        peer.sock = std::move(sock);
-        if (!sendAll(peer.sock.fd(), hello.data(), hello.size()))
-            fatal("shard %u: hello send to rank %u failed", opts.rank,
-                  peer_rank);
-        peer.stats.bytesTx += hello.size();
+        peer.link = std::move(link);
         // The peer's hello is validated lazily by drainFrames(): both
-        // ends of a socketpair can be built in any order on one thread.
+        // ends of a link pair can be built in any order on one thread.
         t->peers.push_back(std::move(peer));
         t->ranks.push_back(peer_rank);
+        t->sendHello(t->peers.back());
     }
     return t;
+}
+
+void
+ShardTransport::sendHello(Peer &peer)
+{
+    std::string hello;
+    encodeHello(hello, opts.rank, opts.shards, topoHash,
+                static_cast<uint32_t>(opts.transport), localHostToken());
+    if (!sendAllLink(peer, hello))
+        fatal("shard %u: hello send to rank %u failed", opts.rank,
+              peer.rank);
 }
 
 size_t
@@ -248,18 +418,95 @@ ShardTransport::peerLost(Peer &peer, uint64_t round, Cycles cycle,
          "its links to empty tokens",
          opts.rank, peer.rank, (unsigned long long)round, why);
     peer.stats.alive = false;
-    peer.sock.close();
+    // Closing the link reclaims host resources now, not at exit: for
+    // shm that unlinks the segment name, so a SIGKILL'd peer cannot
+    // leave a stale ring behind the survivor.
+    if (peer.link)
+        peer.link->close();
     peer.txBuf.clear();
+    peer.rxBuf.clear();
+    peer.rxPos = 0;
     ++lostPeers;
     if (lossFn)
         lossFn(peer.rank, round, cycle);
+}
+
+bool
+ShardTransport::sendAllLink(Peer &peer, const std::string &buf)
+{
+    size_t off = 0;
+    auto t0 = SteadyClock::now();
+    int spins = 0;
+    while (off < buf.size()) {
+        long n = peer.link->sendSome(buf.data() + off, buf.size() - off);
+        if (n < 0)
+            return false;
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            peer.stats.bytesTx += static_cast<uint64_t>(n);
+            spins = 0;
+            continue;
+        }
+        // Fabric momentarily full (shm ring with a busy consumer).
+        // Drain our own inbound direction — the peer may itself be
+        // blocked pushing to us — then back off, bounded by the same
+        // timeout the barrier uses.
+        if (pumpRx(peer) < 0)
+            return false;
+        if (elapsedNs(t0) >
+            int64_t(opts.recvTimeoutMs) * 1000000)
+            return false;
+        if (++spins < 256)
+            std::this_thread::yield();
+        else
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+long
+ShardTransport::pumpRx(Peer &peer)
+{
+    char tmp[65536];
+    long total = 0;
+    for (;;) {
+        long n = peer.link->recvSome(tmp, sizeof(tmp));
+        if (n > 0) {
+            peer.rxBuf.append(tmp, static_cast<size_t>(n));
+            peer.stats.bytesRx += static_cast<uint64_t>(n);
+            total += n;
+            continue;
+        }
+        if (n == 0)
+            return total;
+        return total > 0 ? total : -1; // peer gone, nothing buffered
+    }
+}
+
+void
+ShardTransport::compactRx(Peer &peer)
+{
+    if (peer.rxPos == 0)
+        return;
+    if (peer.rxPos == peer.rxBuf.size()) {
+        // Common case: everything parsed. clear() keeps capacity, so
+        // steady state allocates nothing and memmoves nothing.
+        peer.rxBuf.clear();
+        peer.rxPos = 0;
+    } else if (peer.rxPos >= kRxCompactBytes &&
+               peer.rxPos >= peer.rxBuf.size() / 2) {
+        // Large consumed prefix under a partial frame: one amortized
+        // memmove instead of one per frame.
+        peer.rxBuf.erase(0, peer.rxPos);
+        peer.rxPos = 0;
+    }
 }
 
 void
 ShardTransport::drainFrames(Peer &peer, uint64_t round,
                             Cycles round_start)
 {
-    size_t pos = 0;
+    size_t pos = peer.rxPos;
     Frame f;
     while (!peer.roundDone && decodeFrame(peer.rxBuf, pos, f)) {
         switch (f.type) {
@@ -315,39 +562,15 @@ ShardTransport::drainFrames(Peer &peer, uint64_t round,
             // Orderly exit mid-run still means this peer will never
             // produce tokens again: degrade its links.
             peerLost(peer, round, round_start, "peer shard exited");
+            if (!peer.stats.alive)
+                return; // peerLost reset the buffers; pos is stale
             break;
         }
     }
-    // Keep any trailing partial frame (and, after RoundDone, any
-    // already-buffered next-round traffic) for the next drain.
-    peer.rxBuf.erase(0, pos);
-}
-
-Frame
-ShardTransport::recvFrameBlocking(Peer &peer, int timeout_ms)
-{
-    auto deadline =
-        SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
-    Frame f;
-    size_t pos = 0;
-    while (!decodeFrame(peer.rxBuf, pos, f)) {
-        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        deadline - SteadyClock::now())
-                        .count();
-        if (left <= 0 ||
-            pollIn(peer.sock.fd(), static_cast<int>(left)) <= 0)
-            fatal("shard %u: handshake with rank %u timed out",
-                  opts.rank, peer.rank);
-        char tmp[4096];
-        long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
-        if (n <= 0)
-            fatal("shard %u: rank %u vanished during handshake",
-                  opts.rank, peer.rank);
-        peer.rxBuf.append(tmp, static_cast<size_t>(n));
-        peer.stats.bytesRx += static_cast<uint64_t>(n);
-    }
-    peer.rxBuf.erase(0, pos);
-    return f;
+    // Consumed bytes stay in place behind rxPos (no per-frame
+    // memmove); compactRx reclaims them when cheap or overdue.
+    peer.rxPos = pos;
+    compactRx(peer);
 }
 
 void
@@ -389,12 +612,10 @@ ShardTransport::onRoundComplete(uint64_t round, Cycles round_start)
         if (stats_due && peer.rank == 0)
             encodeStats(peer.txBuf, statsProviderFn(round, round_start));
         encodeRoundDone(peer.txBuf, round, round_start, latency_ns);
-        if (!sendAll(peer.sock.fd(), peer.txBuf.data(),
-                     peer.txBuf.size())) {
+        if (!sendAllLink(peer, peer.txBuf))
             peerLost(peer, round, round_start, "send failed");
-        } else {
-            peer.stats.bytesTx += peer.txBuf.size();
-        }
+        // clear() keeps the allocation: the next round's frames reuse
+        // this capacity instead of re-growing from scratch.
         peer.txBuf.clear();
     }
     if (spanFn)
@@ -402,50 +623,134 @@ ShardTransport::onRoundComplete(uint64_t round, Cycles round_start)
                static_cast<uint64_t>(elapsedNs(flush_t0)));
 
     // Phase 2: barrier. Wait for every live peer's RoundDone for this
-    // round, consuming its batches on the way. Bounded by
-    // recvTimeoutMs per peer: a vanished peer degrades (or aborts
-    // under failFast) instead of hanging the survivor.
+    // round, consuming batches as they arrive — all pending peers sit
+    // in one poll set, so a slow peer delays only itself while the
+    // others' frames drain. stallNs is attributed per peer as the
+    // wall-clock from barrier entry until *that* peer's RoundDone (or
+    // loss): the peer that keeps the barrier open longest shows the
+    // largest stall. Bounded by recvTimeoutMs: a vanished peer
+    // degrades (or aborts under failFast) instead of hanging us.
     auto barrier_t0 = SteadyClock::now();
     for (Peer &peer : peers)
         peer.roundDone = false;
+
+    auto settle = [&](Peer &peer) {
+        // Done (or lost — loss also ends the wait): attribute the time
+        // this peer kept the barrier open.
+        peer.stats.stallNs += static_cast<uint64_t>(elapsedNs(barrier_t0));
+    };
+
+    size_t pending = 0;
     for (Peer &peer : peers) {
         if (!peer.stats.alive)
             continue;
-        auto t0 = SteadyClock::now();
-        auto deadline =
-            t0 + std::chrono::milliseconds(opts.recvTimeoutMs);
-        drainFrames(peer, round, round_start);
-        while (peer.stats.alive && !peer.roundDone) {
-            auto left =
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline - SteadyClock::now())
-                    .count();
-            if (left <= 0) {
-                peerLost(peer, round, round_start, "barrier timeout");
-                break;
-            }
-            int r = pollIn(peer.sock.fd(), static_cast<int>(left));
-            if (r < 0) {
-                peerLost(peer, round, round_start, "socket error");
-                break;
-            }
-            if (r == 0) {
-                peerLost(peer, round, round_start, "barrier timeout");
-                break;
-            }
-            char tmp[65536];
-            long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
-            if (n <= 0) {
+        drainFrames(peer, round, round_start); // already-buffered bytes
+        if (peer.stats.alive && !peer.roundDone) {
+            long n = pumpRx(peer);
+            if (n > 0)
+                drainFrames(peer, round, round_start);
+            else if (n < 0)
                 peerLost(peer, round, round_start,
-                         n == 0 ? "peer closed connection"
-                                : "recv error");
-                break;
-            }
-            peer.rxBuf.append(tmp, static_cast<size_t>(n));
-            peer.stats.bytesRx += static_cast<uint64_t>(n);
-            drainFrames(peer, round, round_start);
+                         "peer closed connection");
         }
-        peer.stats.stallNs += static_cast<uint64_t>(elapsedNs(t0));
+        if (peer.stats.alive && !peer.roundDone)
+            ++pending;
+        else
+            settle(peer);
+    }
+
+    size_t slice = 0;
+    std::vector<pollfd> pfds;
+    std::vector<Peer *> waiting;
+    while (pending > 0) {
+        int64_t left_ms =
+            opts.recvTimeoutMs - elapsedNs(barrier_t0) / 1000000;
+        if (left_ms <= 0) {
+            for (Peer &peer : peers) {
+                if (peer.stats.alive && !peer.roundDone) {
+                    peerLost(peer, round, round_start,
+                             "barrier timeout");
+                    settle(peer);
+                }
+            }
+            pending = 0;
+            break;
+        }
+
+        // One poll set over every pending peer. Ring-backed links
+        // cannot signal data through their fd (it is only a death
+        // watch), so their presence caps the wait at a short
+        // escalating slice and we re-probe readable() after.
+        pfds.clear();
+        waiting.clear();
+        bool ring_wait = false;
+        for (Peer &peer : peers) {
+            if (!peer.stats.alive || peer.roundDone)
+                continue;
+            waiting.push_back(&peer);
+            if (peer.link->needsRingPolling())
+                ring_wait = true;
+            int fd = peer.link->pollFd();
+            if (fd >= 0)
+                pfds.push_back({fd, POLLIN, 0});
+        }
+        // Rings first get a bounded spin-probe: readable() is one
+        // acquire load, and the peer's RoundDone lands microseconds
+        // after ours in the common case — reaching poll()'s
+        // millisecond granularity would turn every fast round into a
+        // sleep. Only after the spin window expires do we escalate to
+        // the poll slices.
+        bool ring_ready = false;
+        if (ring_wait && slice == 0) {
+            auto spin_t0 = SteadyClock::now();
+            while (!ring_ready && elapsedNs(spin_t0) < kRingSpinNs) {
+                for (Peer *pp : waiting) {
+                    if (pp->link->needsRingPolling() &&
+                        pp->link->readable()) {
+                        ring_ready = true;
+                        break;
+                    }
+                }
+                if (!ring_ready)
+                    std::this_thread::yield();
+            }
+        }
+        if (!ring_ready) {
+            int timeout = static_cast<int>(left_ms);
+            if (ring_wait)
+                timeout = std::min(
+                    timeout,
+                    kRingSlicesMs[std::min(slice, kRingSliceCount - 1)]);
+            ++slice;
+            if (!pfds.empty())
+                ::poll(pfds.data(), pfds.size(), timeout); // EINTR: re-loop
+            else if (timeout > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(std::min(timeout, 1)));
+        }
+
+        bool progress = false;
+        for (Peer *pp : waiting) {
+            Peer &peer = *pp;
+            if (!peer.stats.alive || peer.roundDone)
+                continue;
+            long n = pumpRx(peer);
+            if (n > 0) {
+                progress = true;
+                drainFrames(peer, round, round_start);
+            } else if (n < 0) {
+                drainFrames(peer, round, round_start); // leftover bytes
+                if (peer.stats.alive && !peer.roundDone)
+                    peerLost(peer, round, round_start,
+                             "peer closed connection");
+            }
+            if (!peer.stats.alive || peer.roundDone) {
+                settle(peer);
+                --pending;
+            }
+        }
+        if (progress)
+            slice = 0;
     }
 
     // Phase 3: fill in for the dead, if any.
@@ -467,12 +772,11 @@ ShardTransport::exchangeFinalStats(uint64_t round, Cycles cycle)
         if (!statsProviderFn)
             return;
         Peer &peer = peers[peerIndexOf(0)];
-        if (!peer.stats.alive || !peer.sock.valid())
+        if (!peer.stats.alive || !peer.link->isOpen())
             return;
         std::string out;
         encodeStats(out, statsProviderFn(round, cycle));
-        if (sendAll(peer.sock.fd(), out.data(), out.size()))
-            peer.stats.bytesTx += out.size();
+        sendAllLink(peer, out);
         return;
     }
 
@@ -483,13 +787,13 @@ ShardTransport::exchangeFinalStats(uint64_t round, Cycles cycle)
     // both are tolerated (bounded by recvTimeoutMs), since the run is
     // over and only the merged dump's completeness is at stake.
     for (Peer &peer : peers) {
-        if (!peer.stats.alive || !peer.sock.valid())
+        if (!peer.stats.alive || !peer.link->isOpen())
             continue;
         auto deadline = SteadyClock::now() +
                         std::chrono::milliseconds(opts.recvTimeoutMs);
         bool done = false;
         while (!done) {
-            size_t pos = 0;
+            size_t pos = peer.rxPos;
             Frame f;
             while (decodeFrame(peer.rxBuf, pos, f)) {
                 if (f.type == FrameType::Stats) {
@@ -504,7 +808,8 @@ ShardTransport::exchangeFinalStats(uint64_t round, Cycles cycle)
                 }
                 // Skip anything else still buffered behind the barrier.
             }
-            peer.rxBuf.erase(0, pos);
+            peer.rxPos = pos;
+            compactRx(peer);
             if (done)
                 break;
             auto left =
@@ -517,15 +822,11 @@ ShardTransport::exchangeFinalStats(uint64_t round, Cycles cycle)
                      peer.rank);
                 break;
             }
-            int r = pollIn(peer.sock.fd(), static_cast<int>(left));
-            if (r <= 0)
-                break; // timeout or hangup: run is over, move on
-            char tmp[65536];
-            long n = recvSome(peer.sock.fd(), tmp, sizeof(tmp));
-            if (n <= 0)
-                break;
-            peer.rxBuf.append(tmp, static_cast<size_t>(n));
-            peer.stats.bytesRx += static_cast<uint64_t>(n);
+            int r = peer.link->waitReadable(static_cast<int>(left));
+            if (r == 0)
+                continue; // deadline re-checked above
+            if (pumpRx(peer) < 0)
+                break; // peer gone: run is over, move on
         }
     }
 }
@@ -539,11 +840,13 @@ ShardTransport::shutdown()
     std::string bye;
     encodeBye(bye);
     for (Peer &peer : peers) {
-        if (!peer.stats.alive || !peer.sock.valid())
+        if (!peer.link)
             continue;
-        // Best effort: the peer may already be gone.
-        sendAll(peer.sock.fd(), bye.data(), bye.size());
-        peer.sock.close();
+        if (peer.stats.alive && peer.link->isOpen()) {
+            // Best effort: the peer may already be gone.
+            sendAllLink(peer, bye);
+        }
+        peer.link->close();
     }
 }
 

@@ -1,37 +1,53 @@
 /**
  * @file
- * The socket token transport that splits one Cluster across N OS
- * processes (paper Section III-B: simulations "partitioned across
- * FPGAs and machines", with token channels carried over the network).
+ * The round engine that splits one Cluster across N OS processes
+ * (paper Section III-B: simulations "partitioned across FPGAs and
+ * machines", with token channels carried over whatever fabric the
+ * host platform offers).
  *
  * Each process ("shard") owns a subset of the endpoints and runs an
  * ordinary TokenFabric over them. Links whose two ends live in
  * different shards become a connectRemote() half-link on each side:
  * the RX direction is a normal latency-seeded TokenChannel, the TX
  * direction hands each round's batch to this transport, which frames
- * it (net/remote/wire) and ships it over TCP — or an AF_UNIX
- * socketpair for same-host shards.
+ * it (net/remote/wire) and ships it over a PeerLink bridge
+ * (net/remote/peer_link) — TCP or AF_UNIX sockets (socket_link), a
+ * lock-free shared-memory ring pair for same-host peers (shm_ring),
+ * or an in-process loopback for tests. The engine is transport-
+ * agnostic: frame encode/decode, the RoundDone barrier, peer-loss
+ * degradation, telemetry piggyback, and the final-stats exchange all
+ * live here, above the bridge, so results are byte-identical for any
+ * transport mix (pinned by the parity matrix in tests/dist).
+ *
+ * Transport selection (--shard-transport): each rendezvous Hello
+ * carries the sender's preference plus a host token; a pair on one
+ * host negotiates shm under `auto`, pairs on different hosts fall
+ * back to TCP — one mesh can mix fabrics per peer. Explicit `shm`
+ * across hosts is a configuration error (fatal).
  *
  * Round discipline is exactly the fabric's: after every round's
  * commits, the fabric calls onRoundComplete(), which flushes the
  * round's outbound batches plus a RoundDone marker to every peer, then
  * blocks until every peer's RoundDone for the same round has arrived,
  * pushing the received batches into their RX channels along the way.
- * Because the fabric quantum never exceeds any link latency, round R's
- * remote productions are not consumed before round R+1 — the barrier
- * overlaps communication with nothing but itself, and no shard can run
- * ahead. All transport work happens on the fabric's driving thread, so
- * the simulation stays byte-identical to the single-process run for
- * any shard count (tested in tests/dist).
+ * The barrier waits on all live peers as one poll set — one slow peer
+ * delays only itself, the others' frames drain as they arrive, and
+ * stallNs is attributed to the peer that actually kept the barrier
+ * open. Because the fabric quantum never exceeds any link latency,
+ * round R's remote productions are not consumed before round R+1 — no
+ * shard can run ahead. All transport work happens on the fabric's
+ * driving thread, so the simulation stays byte-identical to the
+ * single-process run for any shard count (tested in tests/dist).
  *
  * Peer death: a vanished peer (EOF, connection reset, or a barrier
  * wait exceeding recvTimeoutMs) is converted into graceful
- * degradation, not a hang — the transport marks the peer dead, fires
- * the loss callback (the Cluster records a PeerShardLost fault in its
- * HealthMonitor), and from then on synthesizes empty token batches for
- * the dead peer's links, exactly the degraded-host model the fabric
- * already applies to down endpoints. With Options::failFast the loss
- * is fatal() instead, so CI death tests stay bounded.
+ * degradation, not a hang — the transport marks the peer dead, closes
+ * its link (which reclaims shm segments), fires the loss callback
+ * (the Cluster records a PeerShardLost fault in its HealthMonitor),
+ * and from then on synthesizes empty token batches for the dead
+ * peer's links, exactly the degraded-host model the fabric already
+ * applies to down endpoints. With Options::failFast the loss is
+ * fatal() instead, so CI death tests stay bounded.
  */
 
 #ifndef FIRESIM_NET_REMOTE_SHARD_TRANSPORT_HH
@@ -45,6 +61,7 @@
 #include <vector>
 
 #include "net/fabric.hh"
+#include "net/remote/peer_link.hh"
 #include "net/remote/socket.hh"
 #include "net/remote/wire.hh"
 
@@ -76,6 +93,13 @@ class ShardTransport : public RemoteRoundHook
          *  every this many rounds (0 = never). Non-zero ranks send to
          *  rank 0, which merges (telemetry/aggregate). */
         uint32_t statsEvery = 0;
+        /** Fabric preference (--shard-transport): Auto negotiates shm
+         *  for same-host peers and TCP across hosts; Shm demands shm
+         *  (fatal across hosts); Tcp/Unix never upgrade. */
+        TransportKind transport = TransportKind::Auto;
+        /** Per-direction shm ring capacity (rounded up to a power of
+         *  two). Must be symmetric across the mesh. */
+        size_t shmRingBytes = 1 << 20;
     };
 
     /** Per-peer transport accounting (host-side only, never part of
@@ -104,8 +128,11 @@ class ShardTransport : public RemoteRoundHook
      * TCP rendezvous: listen on host:basePort+rank, connect to every
      * lower rank (bounded-backoff retry), accept every higher rank,
      * and exchange Hello frames carrying (version, rank, shards,
-     * @p topo_hash). A mismatch — two processes launched with
-     * different topologies — is fatal(). Setup failures are fatal();
+     * @p topo_hash, transport preference, host token). A mismatch —
+     * two processes launched with different topologies — is fatal().
+     * Same-host pairs then upgrade the connection to a shared-memory
+     * ring per opts.transport; the TCP socket stays open as the shm
+     * control channel and death watch. Setup failures are fatal();
      * this never returns null.
      */
     static std::unique_ptr<ShardTransport>
@@ -113,15 +140,29 @@ class ShardTransport : public RemoteRoundHook
 
     /**
      * Pre-connected fast path: @p peers carries (peer_rank, fd) pairs,
-     * typically AF_UNIX socketpair halves for same-host shards. Hello
-     * is sent immediately and the peer's Hello validated lazily on
-     * first receive, so two transports sharing a socketpair can be
-     * constructed in any order on one thread without deadlock.
+     * typically AF_UNIX socketpair halves for same-host shards. Under
+     * opts.transport Shm each fd becomes the control socket of a
+     * shared-memory ring pair (lower rank creates); otherwise the fd
+     * is the byte stream itself. Hello is sent immediately and the
+     * peer's Hello validated lazily on first receive, so two
+     * transports sharing a socketpair can be constructed in any order
+     * on one thread without deadlock.
      */
     static std::unique_ptr<ShardTransport>
     fromFds(const Options &opts,
             std::vector<std::pair<uint32_t, SocketFd>> peers,
             uint64_t topo_hash);
+
+    /**
+     * Bridge-level entry: @p links carries (peer_rank, PeerLink)
+     * pairs — any fabric, including loopbackLinkPair() for tests.
+     * Hello rides the link; validation is lazy, as in fromFds.
+     */
+    static std::unique_ptr<ShardTransport>
+    fromLinks(const Options &opts,
+              std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>>
+                  links,
+              uint64_t topo_hash);
 
     ~ShardTransport() override;
 
@@ -194,19 +235,25 @@ class ShardTransport : public RemoteRoundHook
      */
     void exchangeFinalStats(uint64_t round, Cycles cycle);
 
-    /** Orderly shutdown: Bye to every live peer, close sockets.
-     *  Idempotent; also run by the destructor. */
+    /** Orderly shutdown: Bye to every live peer, close links (which
+     *  reclaims shm segments). Idempotent; also run by the dtor. */
     void shutdown();
 
     uint32_t rank() const { return opts.rank; }
     uint32_t shards() const { return opts.shards; }
     const Options &options() const { return opts; }
 
-    /** Ascending rank order; parallel to peerStatsAt(). */
+    /** Ascending rank order; parallel to peerStatsAt()/peerLinkAt(). */
     const std::vector<uint32_t> &peerRanks() const { return ranks; }
     const PeerStats &peerStatsAt(size_t idx) const
     {
         return peers.at(idx).stats;
+    }
+
+    /** The bridge carrying traffic to peer @p idx (never null). */
+    const PeerLink *peerLinkAt(size_t idx) const
+    {
+        return peers.at(idx).link.get();
     }
 
     size_t livePeers() const;
@@ -220,9 +267,11 @@ class ShardTransport : public RemoteRoundHook
     struct Peer
     {
         uint32_t rank = 0;
-        SocketFd sock;
+        std::unique_ptr<PeerLink> link;
         std::string txBuf; //!< this round's encoded outbound frames
         std::string rxBuf; //!< unparsed inbound bytes
+        size_t rxPos = 0;  //!< consumed offset into rxBuf (compacted
+                           //!< lazily — no per-frame memmove)
         bool helloSeen = false;
         bool roundDone = false; //!< RoundDone for the current round
         PeerStats stats;
@@ -248,12 +297,29 @@ class ShardTransport : public RemoteRoundHook
     size_t peerIndexOf(uint32_t peer_rank) const;
     void validateHello(Peer &peer, const Frame &frame) const;
 
+    /** Send @p peer its Hello through the link (lazy validation path:
+     *  fromFds / fromLinks). */
+    void sendHello(Peer &peer);
+
+    /**
+     * Write all of @p buf through the link. A momentarily-full fabric
+     * (shm ring with a slow consumer) is ridden out by draining our
+     * own inbound direction — the peer may be blocked pushing to us —
+     * and backing off, bounded by recvTimeoutMs. False: peer gone.
+     */
+    bool sendAllLink(Peer &peer, const std::string &buf);
+
+    /** Pull every available inbound byte into peer.rxBuf. Bytes read,
+     *  or -1 when the peer is gone with nothing buffered. */
+    long pumpRx(Peer &peer);
+
+    /** Reclaim consumed rxBuf bytes when cheap (fully drained) or
+     *  overdue (large consumed prefix). */
+    void compactRx(Peer &peer);
+
     /** Parse every complete frame buffered for @p peer; returns when
      *  the buffer ends mid-frame or RoundDone(@p round) was seen. */
     void drainFrames(Peer &peer, uint64_t round, Cycles round_start);
-
-    /** Blocking read of one frame during setup (fatal on failure). */
-    Frame recvFrameBlocking(Peer &peer, int timeout_ms);
 
     /** Convert @p peer into a dead peer (or fatal() when failFast). */
     void peerLost(Peer &peer, uint64_t round, Cycles cycle,

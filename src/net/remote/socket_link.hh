@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SocketLink: the byte-stream PeerLink over a connected socket — the
+ * TCP leg for cross-host shards and the AF_UNIX leg for pre-connected
+ * fd pairs. This is the original PR 5 transport repackaged behind the
+ * bridge interface; the socket helpers themselves stay in socket.hh.
+ */
+
+#ifndef FIRESIM_NET_REMOTE_SOCKET_LINK_HH
+#define FIRESIM_NET_REMOTE_SOCKET_LINK_HH
+
+#include <memory>
+
+#include "net/remote/peer_link.hh"
+#include "net/remote/socket.hh"
+
+namespace firesim
+{
+
+/**
+ * Wrap a connected stream socket as a PeerLink. @p kind should be
+ * TransportKind::Tcp or TransportKind::Unix (describe/telemetry only —
+ * the byte semantics are identical). Takes ownership of the fd.
+ */
+std::unique_ptr<PeerLink> makeSocketLink(SocketFd sock,
+                                         TransportKind kind,
+                                         std::string describe);
+
+} // namespace firesim
+
+#endif // FIRESIM_NET_REMOTE_SOCKET_LINK_HH

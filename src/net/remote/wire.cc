@@ -26,20 +26,25 @@ beginFrame(std::string &out, FrameType type, const std::string &payload)
 
 void
 encodeHello(std::string &out, uint32_t rank, uint32_t shards,
-            uint64_t topo_hash)
+            uint64_t topo_hash, uint32_t transport, uint64_t host_token)
 {
     std::string p;
     putVarint(p, kWireVersion);
     putVarint(p, rank);
     putVarint(p, shards);
     putVarint(p, topo_hash);
+    putVarint(p, transport);
+    putVarint(p, host_token);
     beginFrame(out, FrameType::Hello, p);
 }
 
 void
 encodeBatch(std::string &out, uint32_t link_id, const TokenBatch &batch)
 {
-    std::string p;
+    // Encoded once per cross-shard link per round: reuse the payload
+    // scratch so the steady-state flush allocates nothing.
+    thread_local std::string p;
+    p.clear();
     putVarint(p, link_id);
     putVarint(p, batch.start);
     putVarint(p, batch.len);
@@ -65,7 +70,8 @@ void
 encodeRoundDone(std::string &out, uint64_t round, Cycles cycle,
                 uint64_t latency_ns)
 {
-    std::string p;
+    thread_local std::string p;
+    p.clear();
     putVarint(p, round);
     putVarint(p, cycle);
     putVarint(p, latency_ns);
@@ -106,6 +112,8 @@ decodeFrame(const std::string &in, size_t &pos, Frame &out)
         out.rank = static_cast<uint32_t>(getVarint(in, p));
         out.shards = static_cast<uint32_t>(getVarint(in, p));
         out.topoHash = getVarint(in, p);
+        out.transport = static_cast<uint32_t>(getVarint(in, p));
+        out.hostToken = getVarint(in, p);
         break;
       }
       case FrameType::Batch: {

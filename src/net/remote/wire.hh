@@ -52,8 +52,11 @@ namespace firesim
 
 /** Bump when the frame layout changes; checked in Hello.
  *  v2: RoundDone carries the sender's round-latency EWMA; Stats
- *  frames piggyback telemetry snapshots on the barrier. */
-constexpr uint32_t kWireVersion = 2;
+ *  frames piggyback telemetry snapshots on the barrier.
+ *  v3: Hello carries the sender's transport preference and a host
+ *  token so the rendezvous can negotiate the shared-memory fabric
+ *  for same-host peers (--shard-transport=auto). */
+constexpr uint32_t kWireVersion = 3;
 
 enum class FrameType : uint8_t
 {
@@ -73,6 +76,8 @@ struct Frame
     uint32_t rank = 0;
     uint32_t shards = 0;
     uint64_t topoHash = 0;
+    uint32_t transport = 0; //!< sender's TransportKind preference
+    uint64_t hostToken = 0; //!< hash identifying the sender's host
     // Batch
     uint32_t linkId = 0;
     TokenBatch batch;
@@ -84,8 +89,12 @@ struct Frame
     std::string payload; //!< opaque telemetry bytes
 };
 
+/** @p transport is the sender's TransportKind preference and
+ *  @p host_token identifies its host (localHostToken()) — together
+ *  they let the rendezvous negotiate shm for same-host peers. */
 void encodeHello(std::string &out, uint32_t rank, uint32_t shards,
-                 uint64_t topo_hash);
+                 uint64_t topo_hash, uint32_t transport = 0,
+                 uint64_t host_token = 0);
 
 /** @p batch carries its *production* start cycle (pre-restamp). */
 void encodeBatch(std::string &out, uint32_t link_id,

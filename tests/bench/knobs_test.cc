@@ -141,6 +141,45 @@ TEST(KnobParse, ShardConnectRoundTrips)
     EXPECT_EQ(bench::shardBasePortRef(), 9000u);
 }
 
+TEST(KnobParse, ShardTransportRoundTrips)
+{
+    EXPECT_EQ(bench::shardTransportRef(), TransportKind::Auto);
+    parseOneFlag("--shard-transport=shm");
+    EXPECT_EQ(bench::shardTransportRef(), TransportKind::Shm);
+    parseOneFlag("--shard-transport=tcp");
+    EXPECT_EQ(bench::shardTransportRef(), TransportKind::Tcp);
+    parseOneFlag("--shard-transport=unix");
+    EXPECT_EQ(bench::shardTransportRef(), TransportKind::Unix);
+    parseOneFlag("--shard-transport=auto");
+    EXPECT_EQ(bench::shardTransportRef(), TransportKind::Auto);
+    parseOneFlag("--shard-shm-ring=65536");
+    EXPECT_EQ(bench::shardShmRingRef(), 65536u);
+}
+
+TEST(KnobParseDeath, ShardTransportIsStrict)
+{
+    EXPECT_EXIT(parseOneFlag("--shard-transport=SHM"),
+                ::testing::ExitedWithCode(2), "auto, shm, tcp, or unix");
+    EXPECT_EXIT(parseOneFlag("--shard-transport=pcie"),
+                ::testing::ExitedWithCode(2), "--shard-transport");
+    EXPECT_EXIT(parseOneFlag("--shard-transport="),
+                ::testing::ExitedWithCode(2), "--shard-transport");
+    // loopback is a real TransportKind but test-only: the knob parser
+    // must not accept it from the command line.
+    EXPECT_EXIT(parseOneFlag("--shard-transport=loopback"),
+                ::testing::ExitedWithCode(2), "--shard-transport");
+    EXPECT_EXIT(parseOneFlag("--shard-shm-ring=1M"),
+                ::testing::ExitedWithCode(2), "--shard-shm-ring");
+    EXPECT_EXIT(parseOneFlag("--shard-shm-ring=0"),
+                ::testing::ExitedWithCode(2), "at least 1");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_SHARD_TRANSPORT", "fast", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_SHARD_TRANSPORT");
+}
+
 TEST(KnobParse, ObservabilityFlagsRoundTrip)
 {
     parseOneFlag("--heartbeat-every=64");
