@@ -277,6 +277,83 @@ parseTransportKnob(const char *what, const char *text)
     return kind;
 }
 
+/** Server->rank placement policy (--shard-policy): 0 = contiguous
+ *  block split, 1 = cost-aware (needs a --shard-profile-in from a
+ *  prior measured run). Stored as the ShardPolicy enum's underlying
+ *  value so this header stays manager-free. */
+inline unsigned &
+shardPolicyIdRef()
+{
+    static unsigned policy = 0;
+    return policy;
+}
+
+/** Deployment profile to feed the cost-aware mapper
+ *  (--shard-profile-in; sharded writers produce `<path>.rank<k>`
+ *  files which are merged automatically). */
+inline std::string &
+shardProfileInRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Where to write this run's measured deployment profile at teardown
+ *  (--shard-profile-out; empty = don't). */
+inline std::string &
+shardProfileOutRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Parse block|cost for --shard-policy or exit(2). */
+inline unsigned
+parseShardPolicyKnob(const char *what, const char *text)
+{
+    std::string s = text ? text : "";
+    if (s == "block")
+        return 0;
+    if (s == "cost")
+        return 1;
+    std::fprintf(stderr, "error: %s expects block or cost, got '%s'\n",
+                 what, s.c_str());
+    std::exit(2);
+}
+
+/** Round-latency EWMA smoothing weight (--straggler-alpha), the
+ *  weight of the newest sample (MonitorConfig::ewmaAlpha). */
+inline double &
+stragglerAlphaRef()
+{
+    static double alpha = 0.2;
+    return alpha;
+}
+
+/**
+ * Parse @p text as a double in (0, 1] for --straggler-alpha or
+ * exit(2). The monitor folds alpha into a /256 fixed-point weight;
+ * values outside (0, 1] would make the complement weight underflow,
+ * so they are rejected here rather than silently clamped.
+ */
+inline double
+parseAlphaKnob(const char *what, const char *text)
+{
+    const char *p = text;
+    bool starts = p && ((*p >= '0' && *p <= '9') || *p == '.');
+    char *end = nullptr;
+    errno = 0;
+    double v = starts ? std::strtod(p, &end) : 0.0;
+    if (!starts || end == p || *end != '\0' || errno == ERANGE ||
+        !(v > 0.0) || v > 1.0) {
+        std::fprintf(stderr,
+                     "error: %s expects a value in (0, 1], got '%s'\n",
+                     what, text ? text : "");
+        std::exit(2);
+    }
+    return v;
+}
+
 /** Snapshot path for periodic/final checkpoints (--checkpoint). */
 inline std::string &
 checkpointPathRef()
@@ -429,6 +506,17 @@ parseSchedKnob(const char *what, const char *text)
  *                            up to a power of two
  *                            (env FIRESIM_SHARD_SHM_RING;
  *                            default 1048576)
+ *   --shard-policy=P         server->rank placement: block | cost
+ *                            (env FIRESIM_SHARD_POLICY; default block;
+ *                            cost needs --shard-profile-in)
+ *   --shard-profile-in=PATH  measured deployment profile feeding the
+ *                            cost-aware mapper
+ *                            (env FIRESIM_SHARD_PROFILE_IN)
+ *   --shard-profile-out=PATH write this run's measured profile at
+ *                            teardown (env FIRESIM_SHARD_PROFILE_OUT)
+ *   --straggler-alpha=A      round-latency EWMA weight of the newest
+ *                            sample, in (0, 1]
+ *                            (env FIRESIM_STRAGGLER_ALPHA; default 0.2)
  *   --checkpoint=PATH        snapshot file for periodic + final
  *                            checkpoints (env FIRESIM_CHECKPOINT)
  *   --checkpoint-every=N     checkpoint every N fabric rounds
@@ -486,6 +574,16 @@ parseCommonFlags(int argc, char **argv)
     if (const char *env = std::getenv("FIRESIM_SHARD_SHM_RING"))
         shardShmRingRef() =
             parseUnsignedKnob("FIRESIM_SHARD_SHM_RING", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_POLICY"))
+        shardPolicyIdRef() =
+            parseShardPolicyKnob("FIRESIM_SHARD_POLICY", env);
+    if (const char *env = std::getenv("FIRESIM_SHARD_PROFILE_IN"))
+        shardProfileInRef() = env;
+    if (const char *env = std::getenv("FIRESIM_SHARD_PROFILE_OUT"))
+        shardProfileOutRef() = env;
+    if (const char *env = std::getenv("FIRESIM_STRAGGLER_ALPHA"))
+        stragglerAlphaRef() =
+            parseAlphaKnob("FIRESIM_STRAGGLER_ALPHA", env);
     if (const char *env = std::getenv("FIRESIM_CHECKPOINT"))
         checkpointPathRef() = env;
     if (const char *env = std::getenv("FIRESIM_CHECKPOINT_EVERY"))
@@ -521,6 +619,10 @@ parseCommonFlags(int argc, char **argv)
     const std::string ctimeout_flag = "--shard-connect-timeout=";
     const std::string transport_flag = "--shard-transport=";
     const std::string shm_ring_flag = "--shard-shm-ring=";
+    const std::string spolicy_flag = "--shard-policy=";
+    const std::string sprof_in_flag = "--shard-profile-in=";
+    const std::string sprof_out_flag = "--shard-profile-out=";
+    const std::string salpha_flag = "--straggler-alpha=";
     const std::string ckpt_flag = "--checkpoint=";
     const std::string ckpt_every_flag = "--checkpoint-every=";
     const std::string restore_flag = "--restore=";
@@ -562,6 +664,16 @@ parseCommonFlags(int argc, char **argv)
         else if (arg.rfind(shm_ring_flag, 0) == 0)
             shardShmRingRef() = parseUnsignedKnob(
                 "--shard-shm-ring", arg.c_str() + shm_ring_flag.size());
+        else if (arg.rfind(spolicy_flag, 0) == 0)
+            shardPolicyIdRef() = parseShardPolicyKnob(
+                "--shard-policy", arg.c_str() + spolicy_flag.size());
+        else if (arg.rfind(sprof_in_flag, 0) == 0)
+            shardProfileInRef() = arg.substr(sprof_in_flag.size());
+        else if (arg.rfind(sprof_out_flag, 0) == 0)
+            shardProfileOutRef() = arg.substr(sprof_out_flag.size());
+        else if (arg.rfind(salpha_flag, 0) == 0)
+            stragglerAlphaRef() = parseAlphaKnob(
+                "--straggler-alpha", arg.c_str() + salpha_flag.size());
         else if (arg.rfind(ckpt_flag, 0) == 0)
             checkpointPathRef() = arg.substr(ckpt_flag.size());
         else if (arg.rfind(ckpt_every_flag, 0) == 0)
@@ -668,6 +780,13 @@ applyClusterFlags(ClusterConfigT &cc)
         static_cast<int>(shardConnectTimeoutMsRef());
     cc.shard.transport = shardTransportRef();
     cc.shard.shmRingBytes = shardShmRingRef();
+    // decltype keeps this header manager-free: the id is the
+    // ShardPolicy enum's underlying value (0 = block, 1 = cost).
+    cc.shard.policy =
+        static_cast<decltype(cc.shard.policy)>(shardPolicyIdRef());
+    cc.shard.profileIn = shardProfileInRef();
+    cc.shard.profileOut = shardProfileOutRef();
+    cc.monitor.ewmaAlpha = stragglerAlphaRef();
     cc.monitor.heartbeatEvery = heartbeatEveryRef();
     cc.monitor.statusIntervalSec = statusIntervalRef();
     cc.monitor.metricsPath = metricsFileRef();

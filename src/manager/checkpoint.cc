@@ -97,9 +97,7 @@ stripHostTimingStats(std::string json)
 uint64_t
 Cluster::topoHash() const
 {
-    return ShardPlan::build(topo, cfg.shard.shards, cfg.linkLatency,
-                            cfg.switchLatency, cfg.functionalWindow)
-        .topoHash;
+    return plan_.topoHash;
 }
 
 std::string
@@ -127,13 +125,42 @@ Cluster::saveSnapshot(const std::string &path)
         w.addSection(name, s.takeBytes());
     };
 
-    add("fabric", fabric_);
+    // The owner map this snapshot was taken under. Restores under the
+    // same plan take the verified fast path; any other plan goes
+    // through the re-homing path in loadSnapshotReShard.
+    {
+        Serializer s;
+        s.putU(cfg.shard.shards);
+        s.putU(plan_.planHash);
+        s.putU(plan_.serverOwner.size());
+        for (uint32_t o : plan_.serverOwner)
+            s.putU(o);
+        w.addSection("plan", s.takeBytes());
+    }
+
+    // Fabric round state is plan-independent; the per-channel token
+    // rings are keyed by global directed-link id so another plan can
+    // re-home them. Each directed link's channel lives on exactly one
+    // rank (the consumer side), so across a distributed snapshot every
+    // "chan<N>" section appears exactly once.
+    {
+        Serializer s;
+        fabric_.snapshotSaveCore(s);
+        w.addSection("fabric", s.takeBytes());
+    }
+    for (size_t c = 0; c < fabric_.channelCount(); ++c) {
+        Serializer s;
+        fabric_.channelAt(c).snapshotSave(s);
+        w.addSection(csprintf("chan%u", channelGlobalLink[c]),
+                     s.takeBytes());
+    }
+
     for (size_t i = 0; i < switches.size(); ++i)
-        add(csprintf("switch%zu", i), *switches[i]);
+        add(csprintf("switch%u", switchGlobal[i]), *switches[i]);
     for (size_t i = 0; i < nodes.size(); ++i) {
-        add(csprintf("blade%zu", i), nodes[i]->blade());
-        add(csprintf("os%zu", i), nodes[i]->os());
-        add(csprintf("net%zu", i), nodes[i]->net());
+        add(csprintf("blade%u", nodeGlobal[i]), nodes[i]->blade());
+        add(csprintf("os%u", nodeGlobal[i]), nodes[i]->os());
+        add(csprintf("net%u", nodeGlobal[i]), nodes[i]->net());
     }
     if (injector_)
         add("fault", *injector_);
@@ -173,26 +200,40 @@ Cluster::saveSnapshot(const std::string &path)
 std::string
 Cluster::loadSnapshot(const std::string &path)
 {
+    // Same-plan fast path: our own rank file exists and was written
+    // under the exact same owner map. Anything else — different shard
+    // count, different owners at the same count, or the other
+    // geometry's file layout — re-homes sections across rank files.
     SnapshotReader r;
     std::string file =
         snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
     std::string e = r.open(file);
-    if (!e.empty())
-        return e;
+    if (e.empty() && r.header().shards == cfg.shard.shards &&
+        r.header().rank == cfg.shard.rank) {
+        bool same_plan = true;
+        if (r.hasSection("plan")) {
+            SnapshotErrors ignored;
+            Deserializer d(r.section("plan", ignored));
+            d.getU(); // shard count, already checked via the header
+            uint64_t saved_plan = d.getU();
+            same_plan = d.ok() && saved_plan == plan_.planHash;
+        }
+        if (same_plan)
+            return loadSnapshotSamePlan(r, file);
+    }
+    return loadSnapshotReShard(path);
+}
 
+std::string
+Cluster::loadSnapshotSamePlan(SnapshotReader &r, const std::string &file)
+{
     const SnapshotHeader &h = r.header();
     if (h.topoHash != topoHash())
         return csprintf("%s: topology/timing hash %016llx does not "
                         "match this cluster (%016llx) — different "
-                        "topology, latencies, or shard plan",
+                        "topology or latencies",
                         file.c_str(), (unsigned long long)h.topoHash,
                         (unsigned long long)topoHash());
-    if (h.shards != cfg.shard.shards || h.rank != cfg.shard.rank)
-        return csprintf("%s: written by rank %llu of %llu, this "
-                        "cluster is rank %u of %u", file.c_str(),
-                        (unsigned long long)h.rank,
-                        (unsigned long long)h.shards, cfg.shard.rank,
-                        cfg.shard.shards);
     if (h.cycle != fabric_.now())
         return csprintf("%s: snapshot at cycle %llu but cluster is at "
                         "%llu — replay the run to the snapshot cycle "
@@ -213,13 +254,22 @@ Cluster::loadSnapshot(const std::string &path)
                              name.c_str(), d.remaining()));
     };
 
-    restore("fabric", fabric_);
+    {
+        std::string payload = r.section("fabric", err);
+        if (err.ok()) {
+            Deserializer d(std::move(payload));
+            fabric_.snapshotRestoreCore(d, err);
+        }
+    }
+    for (size_t c = 0; c < fabric_.channelCount(); ++c)
+        restore(csprintf("chan%u", channelGlobalLink[c]),
+                fabric_.channelAt(c));
     for (size_t i = 0; i < switches.size(); ++i)
-        restore(csprintf("switch%zu", i), *switches[i]);
+        restore(csprintf("switch%u", switchGlobal[i]), *switches[i]);
     for (size_t i = 0; i < nodes.size(); ++i) {
-        restore(csprintf("blade%zu", i), nodes[i]->blade());
-        restore(csprintf("os%zu", i), nodes[i]->os());
-        restore(csprintf("net%zu", i), nodes[i]->net());
+        restore(csprintf("blade%u", nodeGlobal[i]), nodes[i]->blade());
+        restore(csprintf("os%u", nodeGlobal[i]), nodes[i]->os());
+        restore(csprintf("net%u", nodeGlobal[i]), nodes[i]->net());
     }
 
     if ((injector_ != nullptr) != r.hasSection("fault"))
@@ -299,6 +349,115 @@ Cluster::loadSnapshot(const std::string &path)
         }
     }
 
+    return err.str();
+}
+
+std::string
+Cluster::loadSnapshotReShard(const std::string &path)
+{
+    // Discover the writing run's geometry: a 1-shard run wrote the
+    // bare path, any distributed run wrote `<path>.rank0`.
+    SnapshotReader probe;
+    uint64_t old_shards = 0;
+    {
+        std::string e0 = probe.open(path);
+        if (e0.empty()) {
+            old_shards = probe.header().shards;
+        } else {
+            std::string e1 = probe.open(path + ".rank0");
+            if (!e1.empty())
+                return csprintf("%s: no snapshot found for any "
+                                "geometry (%s; %s)", path.c_str(),
+                                e0.c_str(), e1.c_str());
+            old_shards = probe.header().shards;
+        }
+    }
+    if (old_shards == 0)
+        return csprintf("%s: snapshot header claims 0 shards",
+                        path.c_str());
+
+    // Every old rank file participates: sections for the components
+    // this rank owns may live in any of them.
+    std::vector<SnapshotReader> readers(old_shards);
+    for (uint64_t k = 0; k < old_shards; ++k) {
+        std::string file = snapshotRankPath(path, old_shards, k);
+        std::string e = readers[k].open(file);
+        if (!e.empty())
+            return csprintf("re-shard restore needs all %llu rank "
+                            "files: %s", (unsigned long long)old_shards,
+                            e.c_str());
+        const SnapshotHeader &h = readers[k].header();
+        if (h.topoHash != topoHash())
+            return csprintf("%s: topology/timing hash %016llx does "
+                            "not match this cluster (%016llx) — "
+                            "re-sharding only changes the owner map, "
+                            "never the topology", file.c_str(),
+                            (unsigned long long)h.topoHash,
+                            (unsigned long long)topoHash());
+        if (h.shards != old_shards || h.rank != k)
+            return csprintf("%s: header says rank %llu of %llu, "
+                            "expected rank %llu of %llu", file.c_str(),
+                            (unsigned long long)h.rank,
+                            (unsigned long long)h.shards,
+                            (unsigned long long)k,
+                            (unsigned long long)old_shards);
+        if (h.cycle != fabric_.now() ||
+            h.round != readers[0].header().round)
+            return csprintf("%s: barrier mismatch (cycle %llu round "
+                            "%llu) — the per-rank files are not from "
+                            "the same snapshot", file.c_str(),
+                            (unsigned long long)h.cycle,
+                            (unsigned long long)h.round);
+    }
+
+    SnapshotErrors err;
+    // Restore @p component from whichever old rank file holds @p name.
+    auto restore = [&readers, &err](const std::string &name,
+                                    auto &component) {
+        for (auto &rd : readers) {
+            if (!rd.hasSection(name))
+                continue;
+            std::string payload = rd.section(name, err);
+            if (!err.ok())
+                return;
+            Deserializer d(std::move(payload));
+            component.snapshotRestore(d, err);
+            if (d.ok() && err.ok() && !d.atEnd())
+                err.add(csprintf("%s: %zu trailing bytes after "
+                                 "restore", name.c_str(),
+                                 d.remaining()));
+            return;
+        }
+        err.add(csprintf("section '%s' missing from every rank file "
+                         "— snapshot predates re-shardable format?",
+                         name.c_str()));
+    };
+
+    // Fabric round state is identical across ranks by construction
+    // (same barrier); rank 0's copy serves them all.
+    {
+        std::string payload = readers[0].section("fabric", err);
+        if (err.ok()) {
+            Deserializer d(std::move(payload));
+            fabric_.snapshotRestoreCore(d, err);
+        }
+    }
+    for (size_t c = 0; c < fabric_.channelCount(); ++c)
+        restore(csprintf("chan%u", channelGlobalLink[c]),
+                fabric_.channelAt(c));
+    for (size_t i = 0; i < switches.size(); ++i)
+        restore(csprintf("switch%u", switchGlobal[i]), *switches[i]);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        restore(csprintf("blade%u", nodeGlobal[i]), nodes[i]->blade());
+        restore(csprintf("os%u", nodeGlobal[i]), nodes[i]->os());
+        restore(csprintf("net%u", nodeGlobal[i]), nodes[i]->net());
+    }
+
+    // Rank-local sections — fault, health, autocounter, stats,
+    // transport — partition differently under the new plan and are
+    // regenerated by the deterministic replay that brought this
+    // cluster to the barrier; the re-shard parity tests pin that the
+    // continued run is byte-identical to an uninterrupted one.
     return err.str();
 }
 
@@ -413,19 +572,29 @@ snapshotExists(const Cluster &cluster, const std::string &path)
     const ClusterConfig &cfg = cluster.config();
     std::string file =
         snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
-    return ::access(file.c_str(), F_OK) == 0;
+    if (::access(file.c_str(), F_OK) == 0)
+        return true;
+    // A snapshot written under another geometry is still restorable
+    // (re-sharding): probe the two possible rank-0 spellings.
+    return ::access(path.c_str(), F_OK) == 0 ||
+           ::access((path + ".rank0").c_str(), F_OK) == 0;
 }
 
 std::string
 resumeFromSnapshot(Cluster &cluster, const std::string &path)
 {
     const ClusterConfig &cfg = cluster.config();
+    // Any readable header names the barrier cycle — our own rank file
+    // when the plan matches, else the old geometry's rank-0 file.
     SnapshotReader r;
     std::string file =
         snapshotRankPath(path, cfg.shard.shards, cfg.shard.rank);
     std::string e = r.open(file);
-    if (!e.empty())
-        return e;
+    if (!e.empty()) {
+        std::string e1 = r.open(path);
+        if (!e1.empty() && r.open(path + ".rank0") != "")
+            return e;
+    }
     Cycles target = r.header().cycle;
     if (cluster.now() > target)
         return csprintf("%s: snapshot at cycle %llu but the cluster "

@@ -90,7 +90,28 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config,
     if (!peer_fds.empty())
         fatal("peer fds passed to a single-process cluster");
 
+    // The trivial 1-shard plan still gets computed: it carries the
+    // global numbering and topoHash that snapshots and the deployment
+    // profile are keyed by.
+    plan_ = ShardPlan::build(topo, 1, cfg.linkLatency, cfg.switchLatency,
+                             cfg.functionalWindow);
+
     buildSubtree(topo, 0);
+
+    // Single-process build: local numbering is global numbering, and
+    // buildSubtree's connect order mirrors the plan's link order, so
+    // channel 2k carries downLinkId(k) and channel 2k+1 upLinkId(k).
+    switchGlobal.resize(switches.size());
+    for (uint32_t s = 0; s < switchGlobal.size(); ++s)
+        switchGlobal[s] = s;
+    nodeGlobal.resize(nodes.size());
+    for (uint32_t j = 0; j < nodeGlobal.size(); ++j)
+        nodeGlobal[j] = j;
+    channelGlobalLink.clear();
+    for (size_t k = 0; k < plan_.links.size(); ++k) {
+        channelGlobalLink.push_back(ShardPlan::downLinkId(k));
+        channelGlobalLink.push_back(ShardPlan::upLinkId(k));
+    }
 
     // Populate every switch's static MAC table: for every server MAC,
     // the port that leads toward it (a downlink when the server is in
@@ -123,6 +144,10 @@ Cluster::Cluster(SwitchSpec root, ClusterConfig config,
                 nodes[i]->net().addArp(ipFor(j), macFor(j));
 
     fabric_.finalize();
+    FS_ASSERT(channelGlobalLink.size() == fabric_.channelCount(),
+              "channel/global-link map mismatch: %zu links mapped, %zu "
+              "channels built",
+              channelGlobalLink.size(), fabric_.channelCount());
     fabric_.setParallelHosts(cfg.parallelHosts);
     fabric_.setSchedPolicy(cfg.schedPolicy);
 
@@ -143,9 +168,41 @@ Cluster::buildSharded(
     if (ss.rank >= ss.shards)
         fatal("shard rank %u >= shard count %u", ss.rank, ss.shards);
 
-    ShardPlan plan =
-        ShardPlan::build(topo, ss.shards, cfg.linkLatency,
-                         cfg.switchLatency, cfg.functionalWindow);
+    // Resolve the server->rank map: an explicit owner map wins, then
+    // the configured policy. Everything here is a pure function of the
+    // shared config, so every rank independently computes the same
+    // plan; planHash double-checks that at rendezvous.
+    if (!ss.owners.empty()) {
+        plan_ = ShardPlan::build(topo, ss.shards, cfg.linkLatency,
+                                 cfg.switchLatency, cfg.functionalWindow,
+                                 ss.owners);
+    } else if (ss.policy == ShardPolicy::Cost) {
+        ShardPlan base =
+            ShardPlan::build(topo, ss.shards, cfg.linkLatency,
+                             cfg.switchLatency, cfg.functionalWindow);
+        DeploymentProfile profile;
+        std::string perr;
+        if (!ss.profileIn.empty()) {
+            profile = DeploymentProfile::loadMerged(ss.profileIn, &perr);
+            if (!perr.empty())
+                fatal("--shard-profile-in: %s", perr.c_str());
+            if (profile.empty())
+                warn("shard %u: deployment profile %s is empty or "
+                     "missing; cost policy degrades to uniform weights",
+                     ss.rank, ss.profileIn.c_str());
+        } else {
+            warn("shard %u: --shard-policy=cost without "
+                 "--shard-profile-in; using uniform weights",
+                 ss.rank);
+        }
+        plan_ = ShardPlan::build(topo, ss.shards, cfg.linkLatency,
+                                 cfg.switchLatency, cfg.functionalWindow,
+                                 computeCostOwners(base, profile));
+    } else {
+        plan_ = ShardPlan::build(topo, ss.shards, cfg.linkLatency,
+                                 cfg.switchLatency, cfg.functionalWindow);
+    }
+    const ShardPlan &plan = plan_;
     SpecIndex specs;
     specs.walk(topo);
 
@@ -164,6 +221,7 @@ Cluster::buildSharded(
         scfg.dropBound = cfg.switchDropBound;
         scfg.slicePorts = cfg.switchSlicePorts;
         switchLocal[s] = static_cast<int>(switches.size());
+        switchGlobal.push_back(s);
         switches.push_back(std::make_unique<Switch>(scfg));
         auto &pp = switchPortServers.emplace_back();
         pp.resize(plan.portServers[s].size());
@@ -189,6 +247,7 @@ Cluster::buildSharded(
         oc.cores = server.cores;
         oc.seed = cfg.seed + j;
         nodeLocal[j] = static_cast<int>(nodes.size());
+        nodeGlobal.push_back(j);
         nodes.push_back(
             std::make_unique<NodeSystem>(bc, oc, cfg.net, ipFor(j)));
         fabric_.addEndpoint(&nodes.back()->blade());
@@ -241,6 +300,11 @@ Cluster::buildSharded(
         bool rx;
     };
     std::vector<CrossBinding> cross;
+    // Channel -> global-link-id map, mirroring finalize()'s channel
+    // creation order: the local channel pairs (connect-call order,
+    // down then up) come first, then every remote RX channel
+    // (connectRemote-call order).
+    std::vector<uint32_t> remoteRxIds;
     for (size_t k = 0; k < plan.links.size(); ++k) {
         const ShardPlan::Link &l = plan.links[k];
         uint32_t parent_owner = plan.switchOwner[l.parentSwitch];
@@ -262,6 +326,8 @@ Cluster::buildSharded(
         if (own_parent && own_child) {
             fabric_.connect(parent_ep, l.parentPort, child_ep,
                             l.childPort, cfg.linkLatency);
+            channelGlobalLink.push_back(ShardPlan::downLinkId(k));
+            channelGlobalLink.push_back(ShardPlan::upLinkId(k));
             continue;
         }
         if (own_parent) {
@@ -271,6 +337,7 @@ Cluster::buildSharded(
             fabric_.connectRemote(parent_ep, l.parentPort,
                                   cfg.linkLatency, ShardPlan::upLinkId(k),
                                   ShardPlan::downLinkId(k), child_label);
+            remoteRxIds.push_back(ShardPlan::upLinkId(k));
             cross.push_back({ShardPlan::upLinkId(k), child_owner, true});
             cross.push_back(
                 {ShardPlan::downLinkId(k), child_owner, false});
@@ -279,17 +346,24 @@ Cluster::buildSharded(
                                   ShardPlan::downLinkId(k),
                                   ShardPlan::upLinkId(k),
                                   csprintf("switch%u", l.parentSwitch));
+            remoteRxIds.push_back(ShardPlan::downLinkId(k));
             cross.push_back(
                 {ShardPlan::downLinkId(k), parent_owner, true});
             cross.push_back({ShardPlan::upLinkId(k), parent_owner, false});
         }
     }
+    channelGlobalLink.insert(channelGlobalLink.end(), remoteRxIds.begin(),
+                             remoteRxIds.end());
     if (cross.empty())
         warn("shard %u has no cross-shard links; peers barrier every "
              "round but exchange no tokens",
              ss.rank);
 
     fabric_.finalize();
+    FS_ASSERT(channelGlobalLink.size() == fabric_.channelCount(),
+              "channel/global-link map mismatch: %zu links mapped, %zu "
+              "channels built",
+              channelGlobalLink.size(), fabric_.channelCount());
     fabric_.setParallelHosts(cfg.parallelHosts);
     fabric_.setSchedPolicy(cfg.schedPolicy);
 
@@ -309,12 +383,12 @@ Cluster::buildSharded(
     topts.shmRingBytes = ss.shmRingBytes;
     if (!peer_links.empty()) {
         transport_ = ShardTransport::fromLinks(
-            topts, std::move(peer_links), plan.topoHash);
+            topts, std::move(peer_links), plan.planHash);
     } else if (!peer_fds.empty()) {
         transport_ = ShardTransport::fromFds(topts, std::move(peer_fds),
-                                             plan.topoHash);
+                                             plan.planHash);
     } else {
-        transport_ = ShardTransport::rendezvousTcp(topts, plan.topoHash);
+        transport_ = ShardTransport::rendezvousTcp(topts, plan.planHash);
     }
     for (size_t i = 0; i < transport_->peerRanks().size(); ++i) {
         inform("shard %u: peer rank %u via %s", ss.rank,
@@ -389,6 +463,7 @@ Cluster::~Cluster()
         telemetry_->dumpAtExit(fabric_.now());
         writeMergedDumps();
     }
+    writeDeploymentProfile();
 }
 
 void
@@ -802,6 +877,55 @@ Cluster::statsReport()
     }
     out += nd.render();
     return out;
+}
+
+DeploymentProfile
+Cluster::deploymentProfile() const
+{
+    DeploymentProfile prof;
+    prof.topoHash = plan_.topoHash;
+    prof.serverCostNs.assign(plan_.nServers, 0.0);
+    prof.linkFlits.assign(plan_.links.size() * 2, 0);
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        int ep = fabric_.endpointIndexOf(nodes[i]->name());
+        if (ep >= 0)
+            prof.serverCostNs[nodeGlobal[i]] =
+                fabric_.endpointCostNs(static_cast<size_t>(ep));
+    }
+
+    // Local channels count the flits they moved; each directed link's
+    // channel lives on exactly one rank, so no double counting within a
+    // rank's own wiring.
+    for (size_t c = 0; c < channelGlobalLink.size() &&
+                       c < fabric_.channelCount(); ++c) {
+        uint32_t gid = channelGlobalLink[c];
+        if (gid < prof.linkFlits.size())
+            prof.linkFlits[gid] = fabric_.channelAt(c).flitsMoved();
+    }
+
+    // Cross-shard links: the TX side knows what it actually shipped.
+    if (transport_) {
+        for (auto [gid, flits] : transport_->txLinkFlits())
+            if (flits && gid < prof.linkFlits.size())
+                prof.linkFlits[gid] = flits;
+    }
+    return prof;
+}
+
+void
+Cluster::writeDeploymentProfile()
+{
+    if (cfg.shard.profileOut.empty())
+        return;
+    DeploymentProfile prof = deploymentProfile();
+    std::string path = cfg.shard.shards > 1
+        ? snapshotRankPath(cfg.shard.profileOut, cfg.shard.shards,
+                           cfg.shard.rank)
+        : cfg.shard.profileOut;
+    std::string err = prof.saveFile(path);
+    if (!err.empty())
+        warn("deployment profile: %s", err.c_str());
 }
 
 size_t

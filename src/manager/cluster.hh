@@ -27,6 +27,7 @@
 #include "fault/fault_plan.hh"
 #include "fault/health_monitor.hh"
 #include "fault/injector.hh"
+#include "manager/deploy.hh"
 #include "manager/shard.hh"
 #include "manager/topology.hh"
 #include "net/fabric.hh"
@@ -42,6 +43,8 @@
 
 namespace firesim
 {
+
+class SnapshotReader;
 
 /** Everything that makes one simulated server usable: the blade
  *  hardware, the OS, and the network stack bound together. */
@@ -279,12 +282,28 @@ class Cluster
     /** The IP assigned to server index @p i. */
     static Ip ipFor(size_t i);
 
+    /** The deterministic shard plan this cluster was built under
+     *  (single-process runs carry the trivial 1-shard plan). */
+    const ShardPlan &plan() const { return plan_; }
+
+    /**
+     * This rank's measured deployment profile: per-server advance
+     * cost (the scheduler's EWMA, nonzero only with parallelHosts
+     * >= 2) and per-global-link token traffic (channel flit counters
+     * plus the transport's cross-shard TX counters). Written to
+     * ShardSpec::profileOut at destruction; feed it back via
+     * profileIn with --shard-policy=cost.
+     */
+    DeploymentProfile deploymentProfile() const;
+
     // ---- Checkpoint / restore (manager/checkpoint.cc) ----------------
 
     /**
-     * Topology/timing hash this cluster's snapshots are keyed by —
-     * the same ShardPlan hash the distributed transport exchanges in
-     * its Hello handshake.
+     * Topology/timing hash this cluster's snapshots are keyed by.
+     * Deliberately independent of the shard count and owner map, so a
+     * snapshot restores under any shard plan of the same target
+     * (re-sharding). The transport's Hello exchanges the stricter
+     * plan().planHash instead.
      */
     uint64_t topoHash() const;
 
@@ -312,6 +331,21 @@ class Cluster
     /** Recursively instantiate switches/nodes below @p spec; returns
      *  the index of the switch built for @p spec. */
     size_t buildSubtree(const SwitchSpec &spec, uint32_t depth);
+
+    /** loadSnapshot, same owner map: full verification including the
+     *  stats byte-identity check. @p r is the already-opened file. */
+    std::string loadSnapshotSamePlan(SnapshotReader &r,
+                                     const std::string &file);
+
+    /**
+     * loadSnapshot under a *different* ShardPlan than the one that
+     * wrote @p path: discover the old geometry on disk, open every old
+     * rank file, and re-home each local component / channel section
+     * from whichever file holds it. Rank-local sections (fault,
+     * health, autocounter, stats, transport) are regenerated by the
+     * deterministic replay that preceded this call and are skipped.
+     */
+    std::string loadSnapshotReShard(const std::string &path);
 
     /**
      * Sharded build (config().shard.shards > 1): instantiate only the
@@ -343,8 +377,24 @@ class Cluster
     /** Rank 0, dumpDir set: write the merged cross-shard dumps. */
     void writeMergedDumps();
 
+    /** ShardSpec::profileOut set: write this rank's measured profile
+     *  (called from the destructor). */
+    void writeDeploymentProfile();
+
     SwitchSpec topo;
     ClusterConfig cfg;
+    /** The shard plan both build paths derive their wiring from;
+     *  trivial (1 shard, every owner 0) in single-process mode. */
+    ShardPlan plan_;
+    // Local -> global component numbering (identity in single-process
+    // mode): switchGlobal[i] is the global index of switches[i],
+    // nodeGlobal[i] of nodes[i]. channelGlobalLink[c] is the global
+    // directed link id carried by fabric channel c — the key re-shard
+    // restore and the deployment profile use to re-home per-channel
+    // state across ranks.
+    std::vector<uint32_t> switchGlobal;
+    std::vector<uint32_t> nodeGlobal;
+    std::vector<uint32_t> channelGlobalLink;
     TokenFabric fabric_;
     std::unique_ptr<HealthMonitor> monitor_;
     std::unique_ptr<FaultInjector> injector_;

@@ -1,5 +1,8 @@
 #include "manager/shard.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "base/logging.hh"
 
 namespace firesim
@@ -63,18 +66,17 @@ struct Walker
     }
 };
 
-} // namespace
-
+/** Topology walk + validation; topoHash is complete (and owner-map
+ *  independent) when this returns. */
 ShardPlan
-ShardPlan::build(const SwitchSpec &root, uint32_t shards,
-                 Cycles link_latency, Cycles switch_latency,
-                 Cycles functional_window)
+buildTopology(const SwitchSpec &root, uint32_t shards,
+              Cycles link_latency, Cycles switch_latency,
+              Cycles functional_window)
 {
     FS_ASSERT(shards >= 1, "shard count must be >= 1");
     ShardPlan plan;
     plan.shards = shards;
     plan.topoHash = kFnvOffset;
-    mix(plan.topoHash, shards);
     mix(plan.topoHash, link_latency);
     mix(plan.topoHash, switch_latency);
     mix(plan.topoHash, functional_window);
@@ -87,11 +89,31 @@ ShardPlan::build(const SwitchSpec &root, uint32_t shards,
         fatal("cannot split %u server(s) across %u shards",
               plan.nServers, shards);
 
-    // Servers: contiguous blocks, deterministically balanced.
-    plan.serverOwner.resize(plan.nServers);
-    for (uint32_t j = 0; j < plan.nServers; ++j)
-        plan.serverOwner[j] = static_cast<uint32_t>(
-            static_cast<uint64_t>(j) * shards / plan.nServers);
+    mix(plan.topoHash, plan.nSwitches);
+    mix(plan.topoHash, plan.nServers);
+    return plan;
+}
+
+/** Install @p owners as the server->rank map: validate it, derive the
+ *  switch owners, and seal planHash. */
+void
+assignOwners(ShardPlan &plan, std::vector<uint32_t> owners)
+{
+    if (owners.size() != plan.nServers)
+        fatal("shard owner map names %zu server(s), topology has %u",
+              owners.size(), plan.nServers);
+    std::vector<uint32_t> perRank(plan.shards, 0);
+    for (uint32_t j = 0; j < plan.nServers; ++j) {
+        if (owners[j] >= plan.shards)
+            fatal("shard owner map sends server %u to rank %u "
+                  "(only %u shard(s))",
+                  j, owners[j], plan.shards);
+        ++perRank[owners[j]];
+    }
+    for (uint32_t r = 0; r < plan.shards; ++r)
+        if (perRank[r] == 0)
+            fatal("shard owner map leaves rank %u with no servers", r);
+    plan.serverOwner = std::move(owners);
 
     // Switches: follow the first server of the subtree, so a ToR lives
     // with its servers and only inter-switch trunks cross shards. A
@@ -106,8 +128,39 @@ ShardPlan::build(const SwitchSpec &root, uint32_t shards,
             first < plan.nServers ? plan.serverOwner[first] : 0;
     }
 
-    mix(plan.topoHash, plan.nSwitches);
-    mix(plan.topoHash, plan.nServers);
+    plan.planHash = plan.topoHash;
+    mix(plan.planHash, plan.shards);
+    for (uint32_t owner : plan.serverOwner)
+        mix(plan.planHash, owner);
+}
+
+} // namespace
+
+ShardPlan
+ShardPlan::build(const SwitchSpec &root, uint32_t shards,
+                 Cycles link_latency, Cycles switch_latency,
+                 Cycles functional_window)
+{
+    ShardPlan plan = buildTopology(root, shards, link_latency,
+                                   switch_latency, functional_window);
+
+    // Servers: contiguous blocks, deterministically balanced.
+    std::vector<uint32_t> owners(plan.nServers);
+    for (uint32_t j = 0; j < plan.nServers; ++j)
+        owners[j] = static_cast<uint32_t>(
+            static_cast<uint64_t>(j) * shards / plan.nServers);
+    assignOwners(plan, std::move(owners));
+    return plan;
+}
+
+ShardPlan
+ShardPlan::build(const SwitchSpec &root, uint32_t shards,
+                 Cycles link_latency, Cycles switch_latency,
+                 Cycles functional_window, std::vector<uint32_t> owners)
+{
+    ShardPlan plan = buildTopology(root, shards, link_latency,
+                                   switch_latency, functional_window);
+    assignOwners(plan, std::move(owners));
     return plan;
 }
 

@@ -16,12 +16,17 @@
  * one-to-one with the single-process run — the basis of the
  * byte-identity tests in tests/dist.
  *
- * Partitioning policy: servers are split into contiguous blocks
- * (server j goes to rank j*shards/nServers) and each switch follows
- * the first server of its subtree. Contiguous blocks keep each ToR
- * with its servers for the common balanced topologies, minimizing
- * cross-shard links (which each cost one socket round trip of
- * pipeline slack the fabric already hides).
+ * Partitioning policy: by default servers are split into contiguous
+ * blocks (server j goes to rank j*shards/nServers) and each switch
+ * follows the first server of its subtree. Contiguous blocks keep
+ * each ToR with its servers for the common balanced topologies,
+ * minimizing cross-shard links (which each cost one socket round trip
+ * of pipeline slack the fabric already hides). build() also accepts
+ * an arbitrary deterministic server->rank map (the deployment
+ * mapper's cost-aware plans, manager/deploy); the map is folded into
+ * planHash so shards launched with diverging maps are caught at
+ * rendezvous, while topoHash stays a pure topology+timing hash so
+ * snapshots can be restored under a *different* plan (re-sharding).
  */
 
 #ifndef FIRESIM_MANAGER_SHARD_HH
@@ -37,6 +42,13 @@
 
 namespace firesim
 {
+
+/** Server->rank placement policy (--shard-policy). */
+enum class ShardPolicy
+{
+    Block, //!< contiguous index blocks (the deterministic default)
+    Cost,  //!< cost-balanced split from a measured deployment profile
+};
 
 /** How (and whether) to split a Cluster across shard processes. */
 struct ShardSpec
@@ -60,6 +72,19 @@ struct ShardSpec
     /** Per-direction shm ring capacity in bytes (rounded up to a
      *  power of two); must be symmetric across the mesh. */
     size_t shmRingBytes = 1 << 20;
+    /** Server->rank placement policy (--shard-policy). Cost balances
+     *  measured per-server costs from the profile named by profileIn;
+     *  without a profile it degrades to a uniform-cost split. */
+    ShardPolicy policy = ShardPolicy::Block;
+    /** Deployment profile read at startup (--shard-profile-in). */
+    std::string profileIn;
+    /** Deployment profile written at end of run
+     *  (--shard-profile-out); rank files merge at the next load. */
+    std::string profileOut;
+    /** Explicit server->rank map; when non-empty it overrides policy.
+     *  Every launching process must pass the same map (checked via
+     *  planHash at rendezvous). */
+    std::vector<uint32_t> owners;
 };
 
 /**
@@ -93,17 +118,38 @@ struct ShardPlan
     /** Per switch: total ports including the uplink. */
     std::vector<uint32_t> switchPorts;
     /** FNV-1a over the topology structure and the timing-relevant
-     *  config; equal on every correctly launched shard. */
+     *  config only — deliberately independent of the shard count and
+     *  owner map, so any two plans over the same target agree. This
+     *  is the hash snapshots carry: a checkpoint taken under one plan
+     *  restores under any other plan with the same topoHash. */
     uint64_t topoHash = 0;
+    /** topoHash further mixed with the shard count and the full
+     *  server->rank map — the value exchanged in the transport Hello,
+     *  so processes launched with diverging plans (not just diverging
+     *  topologies) are caught at rendezvous. */
+    uint64_t planHash = 0;
 
     /**
-     * Build the plan. @p link_latency / @p switch_latency /
-     * @p functional_window are folded into topoHash because shards
-     * disagreeing on them would desynchronize cycle-for-cycle.
+     * Build the plan with the default contiguous-block owner map.
+     * @p link_latency / @p switch_latency / @p functional_window are
+     * folded into topoHash because shards disagreeing on them would
+     * desynchronize cycle-for-cycle.
      */
     static ShardPlan build(const SwitchSpec &root, uint32_t shards,
                            Cycles link_latency, Cycles switch_latency,
                            Cycles functional_window);
+
+    /**
+     * Build the plan with an explicit server->rank map @p owners
+     * (global server index -> owning rank). Must name every server,
+     * keep every rank non-empty, and be identical on every launching
+     * process (enforced via planHash at rendezvous). Switches still
+     * follow the lowest-numbered server of their subtree.
+     */
+    static ShardPlan build(const SwitchSpec &root, uint32_t shards,
+                           Cycles link_latency, Cycles switch_latency,
+                           Cycles functional_window,
+                           std::vector<uint32_t> owners);
 
     uint32_t ownerOfLink(const Link &l, bool child_side) const
     {

@@ -121,6 +121,7 @@ TokenChannel::push(TokenBatch batch)
               lbl.c_str(), (unsigned long long)batch.start,
               (unsigned long long)nextPushStart);
     nextPushStart += quant;
+    flitCount += batch.flits.size();
     enqueue(std::move(batch));
 }
 
@@ -128,6 +129,7 @@ void
 TokenChannel::pushRaw(TokenBatch batch)
 {
     batch.start += lat;
+    flitCount += batch.flits.size();
     enqueue(std::move(batch));
 }
 
@@ -474,6 +476,21 @@ TokenFabric::txChannelOf(size_t endpoint_idx, uint32_t port) const
     if (port >= state.out.size() || !state.out[port])
         return -1;
     return static_cast<int>(channelIndexOf(state.out[port]));
+}
+
+double
+TokenFabric::endpointCostNs(size_t idx) const
+{
+    if (schedWidth == 0)
+        return 0.0; // never dispatched through the schedulers
+    double total = 0.0;
+    for (size_t u = 0; u < beginUnits.size(); ++u)
+        if (beginUnits[u].endpoint == idx)
+            total += schedBegin.expectedCostNs(static_cast<uint32_t>(u));
+    for (size_t u = 0; u < mainUnits.size(); ++u)
+        if (mainUnits[u].endpoint == idx)
+            total += schedMain.expectedCostNs(static_cast<uint32_t>(u));
+    return total;
 }
 
 bool
@@ -868,6 +885,35 @@ TokenFabric::snapshotRestore(Deserializer &d, SnapshotErrors &err)
     curCycle = cycle;
     roundCount = rounds;
     batchCount = batches;
+}
+
+void
+TokenFabric::snapshotSaveCore(Serializer &s) const
+{
+    FS_ASSERT(finalized, "fabric snapshot requires finalize()");
+    FS_ASSERT(curCycle % quant == 0,
+              "fabric snapshot must happen at a round boundary");
+    s.putU(quant);
+    s.putU(curCycle);
+    s.putU(roundCount);
+}
+
+void
+TokenFabric::snapshotRestoreCore(Deserializer &d, SnapshotErrors &err)
+{
+    if (!finalized) {
+        err.add("fabric restore requires finalize()");
+        return;
+    }
+    expectEq(err, "fabric quantum", (uint64_t)quant, d.getU());
+    Cycles cycle = d.getU();
+    uint64_t rounds = d.getU();
+    if (!d.ok()) {
+        err.add(d.error());
+        return;
+    }
+    curCycle = cycle;
+    roundCount = rounds;
 }
 
 } // namespace firesim

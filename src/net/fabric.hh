@@ -140,6 +140,13 @@ class TokenChannel
     /** Number of buffered batches. */
     size_t depth() const { return used; }
 
+    /** Total flits pushed through this channel since construction —
+     *  the deployment mapper's per-link traffic signal
+     *  (manager/deploy). Deterministic (a pure function of the
+     *  simulation), but deliberately not part of the snapshot state:
+     *  a restored run re-counts from its replay. */
+    uint64_t flitsMoved() const { return flitCount; }
+
     /** Steady-state depth: latency/quantum batches are always in flight. */
     size_t expectedDepth() const
     {
@@ -163,6 +170,7 @@ class TokenChannel
 
     Cycles lat;
     Cycles quant;
+    uint64_t flitCount = 0; //!< flits pushed (host-side accounting)
     std::string lbl = "unnamed-channel";
     Cycles nextPushStart = 0; //!< producer-side batch start bookkeeping
     Cycles nextPopStart = 0;  //!< consumer-side expected batch start
@@ -603,6 +611,16 @@ class TokenFabric
     int txChannelOf(size_t endpoint_idx, uint32_t port) const;
 
     /**
+     * Measured advance cost of endpoint @p idx in ns per round: the
+     * round schedulers' EWMA summed over the endpoint's advance units
+     * (begin + slices or the monolithic advance). 0 until measured —
+     * the cost model only runs with parallelHosts >= 2. Host-side
+     * accounting for the deployment mapper (manager/deploy); never
+     * part of the deterministic simulation surface.
+     */
+    double endpointCostNs(size_t idx) const;
+
+    /**
      * Testing hook: permute the endpoint stepping order. Results must
      * not change (decoupled determinism); property tests rely on this.
      */
@@ -617,6 +635,17 @@ class TokenFabric
      */
     void snapshotSave(Serializer &s) const;
     void snapshotRestore(Deserializer &d, SnapshotErrors &err);
+
+    /**
+     * Plan-independent subset of snapshotSave: the round state
+     * (quantum, cycle, round count) *without* the channel list or the
+     * host-local batch counter. Re-shardable snapshots
+     * (manager/checkpoint) store this as the "fabric" section and
+     * every channel under its own global link name, so a restore under
+     * a different ShardPlan can re-home channels individually.
+     */
+    void snapshotSaveCore(Serializer &s) const;
+    void snapshotRestoreCore(Deserializer &d, SnapshotErrors &err);
 
   private:
     struct Link

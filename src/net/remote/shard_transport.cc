@@ -122,8 +122,8 @@ negotiateTransport(const ShardTransport::Options &opts,
 
 } // namespace
 
-ShardTransport::ShardTransport(const Options &o, uint64_t topo_hash)
-    : opts(o), topoHash(topo_hash)
+ShardTransport::ShardTransport(const Options &o, uint64_t plan_hash)
+    : opts(o), planHash(plan_hash)
 {
     FS_ASSERT(opts.shards >= 2, "shard transport needs >= 2 shards");
     FS_ASSERT(opts.rank < opts.shards, "shard rank %u >= shard count %u",
@@ -136,10 +136,10 @@ ShardTransport::~ShardTransport()
 }
 
 std::unique_ptr<ShardTransport>
-ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
+ShardTransport::rendezvousTcp(const Options &opts, uint64_t plan_hash)
 {
     std::unique_ptr<ShardTransport> t(
-        new ShardTransport(opts, topo_hash));
+        new ShardTransport(opts, plan_hash));
 
     // Every rank listens on basePort + rank, connects to all lower
     // ranks, and accepts all higher ranks — a full mesh with one TCP
@@ -158,7 +158,7 @@ ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
 
     uint64_t host_token = localHostToken();
     std::string hello;
-    encodeHello(hello, opts.rank, opts.shards, topo_hash,
+    encodeHello(hello, opts.rank, opts.shards, plan_hash,
                 static_cast<uint32_t>(opts.transport), host_token);
 
     // Once a pair's Hellos are exchanged, both ends independently
@@ -246,7 +246,7 @@ ShardTransport::rendezvousTcp(const Options &opts, uint64_t topo_hash)
 std::unique_ptr<ShardTransport>
 ShardTransport::fromFds(const Options &opts,
                         std::vector<std::pair<uint32_t, SocketFd>> fds,
-                        uint64_t topo_hash)
+                        uint64_t plan_hash)
 {
     // Auto keeps the fds as the byte stream itself (the caller chose
     // the socketpair fast path; honor it); only an explicit `shm`
@@ -267,17 +267,17 @@ ShardTransport::fromFds(const Options &opts,
         }
         links.emplace_back(peer_rank, std::move(link));
     }
-    return fromLinks(opts, std::move(links), topo_hash);
+    return fromLinks(opts, std::move(links), plan_hash);
 }
 
 std::unique_ptr<ShardTransport>
 ShardTransport::fromLinks(
     const Options &opts,
     std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>> links,
-    uint64_t topo_hash)
+    uint64_t plan_hash)
 {
     std::unique_ptr<ShardTransport> t(
-        new ShardTransport(opts, topo_hash));
+        new ShardTransport(opts, plan_hash));
     FS_ASSERT(links.size() == opts.shards - 1,
               "fromLinks: %zu links for %u shards", links.size(),
               opts.shards);
@@ -308,7 +308,7 @@ void
 ShardTransport::sendHello(Peer &peer)
 {
     std::string hello;
-    encodeHello(hello, opts.rank, opts.shards, topoHash,
+    encodeHello(hello, opts.rank, opts.shards, planHash,
                 static_cast<uint32_t>(opts.transport), localHostToken());
     if (!sendAllLink(peer, hello))
         fatal("shard %u: hello send to rank %u failed", opts.rank,
@@ -341,13 +341,14 @@ ShardTransport::validateHello(Peer &peer, const Frame &frame) const
     if (peer.rank < opts.shards && frame.rank != peer.rank)
         fatal("shard %u: peer claims rank %u, expected %u", opts.rank,
               frame.rank, peer.rank);
-    if (frame.topoHash != topoHash)
-        fatal("shard %u: topology mismatch with rank %u "
+    if (frame.topoHash != planHash)
+        fatal("shard %u: shard-plan mismatch with rank %u "
               "(hash %016llx != %016llx) — the shard processes were "
-              "launched with different topologies or configs",
+              "launched with different topologies, configs, or "
+              "server->rank owner maps",
               opts.rank, frame.rank,
               (unsigned long long)frame.topoHash,
-              (unsigned long long)topoHash);
+              (unsigned long long)planHash);
     peer.helloSeen = true;
 }
 
@@ -385,7 +386,7 @@ ShardTransport::livePeers() const
 void
 ShardTransport::onTxBatch(uint32_t link_id, const TokenBatch &batch)
 {
-    for (const auto &b : txBindings) {
+    for (auto &b : txBindings) {
         if (b.linkId != link_id)
             continue;
         Peer &peer = peers[b.peerIdx];
@@ -393,9 +394,20 @@ ShardTransport::onTxBatch(uint32_t link_id, const TokenBatch &batch)
             return; // degraded: the far shard is gone
         encodeBatch(peer.txBuf, link_id, batch);
         ++peer.stats.batchesTx;
+        b.flits += batch.flits.size();
         return;
     }
     panic("shard %u: TX batch for unbound link %u", opts.rank, link_id);
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+ShardTransport::txLinkFlits() const
+{
+    std::vector<std::pair<uint32_t, uint64_t>> out;
+    out.reserve(txBindings.size());
+    for (const auto &b : txBindings)
+        out.emplace_back(b.linkId, b.flits);
+    return out;
 }
 
 void

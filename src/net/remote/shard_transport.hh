@@ -128,15 +128,17 @@ class ShardTransport : public RemoteRoundHook
      * TCP rendezvous: listen on host:basePort+rank, connect to every
      * lower rank (bounded-backoff retry), accept every higher rank,
      * and exchange Hello frames carrying (version, rank, shards,
-     * @p topo_hash, transport preference, host token). A mismatch —
-     * two processes launched with different topologies — is fatal().
-     * Same-host pairs then upgrade the connection to a shared-memory
-     * ring per opts.transport; the TCP socket stays open as the shm
-     * control channel and death watch. Setup failures are fatal();
-     * this never returns null.
+     * @p plan_hash, transport preference, host token). The hash is
+     * the ShardPlan's planHash — topology, timing config, shard
+     * count, *and* the server->rank owner map — so two processes
+     * launched with different topologies or diverging shard plans are
+     * both fatal(). Same-host pairs then upgrade the connection to a
+     * shared-memory ring per opts.transport; the TCP socket stays
+     * open as the shm control channel and death watch. Setup failures
+     * are fatal(); this never returns null.
      */
     static std::unique_ptr<ShardTransport>
-    rendezvousTcp(const Options &opts, uint64_t topo_hash);
+    rendezvousTcp(const Options &opts, uint64_t plan_hash);
 
     /**
      * Pre-connected fast path: @p peers carries (peer_rank, fd) pairs,
@@ -151,7 +153,7 @@ class ShardTransport : public RemoteRoundHook
     static std::unique_ptr<ShardTransport>
     fromFds(const Options &opts,
             std::vector<std::pair<uint32_t, SocketFd>> peers,
-            uint64_t topo_hash);
+            uint64_t plan_hash);
 
     /**
      * Bridge-level entry: @p links carries (peer_rank, PeerLink)
@@ -162,7 +164,7 @@ class ShardTransport : public RemoteRoundHook
     fromLinks(const Options &opts,
               std::vector<std::pair<uint32_t, std::unique_ptr<PeerLink>>>
                   links,
-              uint64_t topo_hash);
+              uint64_t plan_hash);
 
     ~ShardTransport() override;
 
@@ -259,6 +261,12 @@ class ShardTransport : public RemoteRoundHook
     size_t livePeers() const;
     bool anyPeerLost() const { return lostPeers != 0; }
 
+    /** Flits shipped per TX link since construction, as (global link
+     *  id, flits) pairs in bind order — the deployment mapper's
+     *  cross-shard traffic signal (manager/deploy). Host-side
+     *  accounting, never part of the simulation surface. */
+    std::vector<std::pair<uint32_t, uint64_t>> txLinkFlits() const;
+
     // ---- RemoteRoundHook ---------------------------------------------
     void onTxBatch(uint32_t link_id, const TokenBatch &batch) override;
     void onRoundComplete(uint64_t round, Cycles round_start) override;
@@ -290,9 +298,10 @@ class ShardTransport : public RemoteRoundHook
     {
         uint32_t linkId = 0;
         uint32_t peerIdx = 0;
+        uint64_t flits = 0; //!< shipped through this link (host-side)
     };
 
-    ShardTransport(const Options &opts, uint64_t topo_hash);
+    ShardTransport(const Options &opts, uint64_t plan_hash);
 
     size_t peerIndexOf(uint32_t peer_rank) const;
     void validateHello(Peer &peer, const Frame &frame) const;
@@ -329,7 +338,8 @@ class ShardTransport : public RemoteRoundHook
     void synthesizeMissing(uint64_t round);
 
     Options opts;
-    uint64_t topoHash;
+    /** ShardPlan::planHash carried in Hello (wire field topoHash). */
+    uint64_t planHash;
     std::vector<Peer> peers;   //!< ascending rank
     std::vector<uint32_t> ranks;
     std::vector<RxBinding> rxBindings;

@@ -43,8 +43,12 @@
 namespace firesim
 {
 
-/** Bumped whenever the section payload layout changes. */
-constexpr uint32_t kSnapshotVersion = 1;
+/** Bumped whenever the section payload layout changes. v2: component
+ *  sections are named by *global* index, fabric round state and
+ *  per-channel rings split into "fabric" + "chan<link>" sections, and
+ *  a "plan" section records the owner map — together these let a
+ *  snapshot be restored under a different ShardPlan (re-sharding). */
+constexpr uint32_t kSnapshotVersion = 2;
 
 /** "FSNP" little-endian. */
 constexpr uint32_t kSnapshotMagic = 0x504e5346u;

@@ -1,5 +1,6 @@
 #include "telemetry/aggregate.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -128,7 +129,12 @@ decodeRankTelemetry(const std::string &bytes, RankTelemetry &out)
     out.round = round;
     out.cycle = cycle;
     out.stats.at = cycle;
-    out.stats.values.reserve(nstats);
+    // nstats is peer-controlled: clamp the reserve to what the payload
+    // could actually hold (a stat is >= 4 bytes on the wire) so a
+    // hostile count cannot allocate unbounded memory up front. The
+    // loop below still validates every element individually.
+    out.stats.values.reserve(
+        std::min<uint64_t>(nstats, (bytes.size() - p) / 4));
 
     std::string name;
     for (uint64_t i = 0; i < nstats; ++i) {
@@ -164,7 +170,10 @@ decodeRankTelemetry(const std::string &bytes, RankTelemetry &out)
     uint64_t nphases;
     if (!tryGetVarint(bytes, p, nphases))
         return false;
-    out.phases.reserve(nphases);
+    // Same clamp as above: a phase entry is >= 11 bytes (name length,
+    // two varints, 8-byte double), so the count cannot exceed that.
+    out.phases.reserve(
+        std::min<uint64_t>(nphases, (bytes.size() - p) / 11));
     for (uint64_t i = 0; i < nphases; ++i) {
         uint64_t name_len, start, cycles;
         SimRateTelemetry::Phase ph;
@@ -251,8 +260,13 @@ StatAggregator::mergedCsv() const
                                (unsigned long long)maxCycle());
     for (const auto &[rank, rt] : byRank) {
         for (const auto &[name, value] : rt.stats.values) {
+            // The rank prefix cannot need quoting, but the stat name
+            // can — one comma in a peer's stat name must not shift
+            // every later column. Same helper as StatRegistry::dumpCsv.
             out += csprintf(
-                "rank%u.%s,%s\n", rank, name.c_str(),
+                "%s,%s\n",
+                StatRegistry::csvField(csprintf("rank%u.%s", rank,
+                                                name.c_str())).c_str(),
                 StatRegistry::formatValue(value).c_str());
         }
     }

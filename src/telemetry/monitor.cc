@@ -21,6 +21,18 @@ ClusterMonitor::ClusterMonitor(MonitorConfig config, uint32_t rank,
     lastHeartbeatAt = epoch;
     lastStatusAt = epoch;
     if (cfg.heartbeatEvery != 0) {
+        // A crashed run's heartbeat trail is exactly what a postmortem
+        // wants to read; opening with "wb" would truncate it. Rotate a
+        // non-empty leftover to `.prev` so resume keeps one generation
+        // of history.
+        if (std::FILE *old = std::fopen(cfg.heartbeatPath.c_str(), "rb")) {
+            std::fseek(old, 0, SEEK_END);
+            long size = std::ftell(old);
+            std::fclose(old);
+            if (size > 0)
+                std::rename(cfg.heartbeatPath.c_str(),
+                            (cfg.heartbeatPath + ".prev").c_str());
+        }
         heartbeatFile = std::fopen(cfg.heartbeatPath.c_str(), "wb");
         if (!heartbeatFile)
             warn("monitor: cannot open heartbeat file '%s'; heartbeats "
@@ -63,14 +75,19 @@ ClusterMonitor::onRoundEnd(Cycles round_start, uint64_t round)
                 now - roundT0)
                 .count());
         // EWMA with integer arithmetic; alpha is folded into a /256
-        // fixed-point weight.
+        // fixed-point weight, clamped to [1, 256] so an out-of-range
+        // alpha cannot underflow the (256 - w) complement.
         uint32_t w = static_cast<uint32_t>(cfg.ewmaAlpha * 256.0);
-        if (w == 0)
-            w = 1;
+        w = std::min(std::max(w, 1u), 256u);
         ewmaNs = ewmaNs == 0
                      ? dt
                      : (ewmaNs * (256 - w) + dt * w) / 256;
         ++sampleCount;
+
+        // Straggler detection rides the latency sampling stride, not
+        // the heartbeat cadence: a run with heartbeats off (or set
+        // very sparse) still latches stragglers promptly.
+        detectStragglers(rankLatencies(), round, round_start);
 
         // The status line's wall-clock cadence is checked on sampled
         // rounds only — it fires every statusIntervalSec seconds, so
@@ -143,6 +160,19 @@ void
 ClusterMonitor::detectStragglers(const std::vector<RankLatency> &lat,
                                  uint64_t round, Cycles cycle)
 {
+    // A dead rank is not a straggler — unlatch it so the
+    // firesim_stragglers gauge tracks live laggards only (a revived
+    // rank may re-latch later).
+    latchedStragglers.erase(
+        std::remove_if(latchedStragglers.begin(), latchedStragglers.end(),
+                       [&lat](uint32_t r) {
+                           for (const auto &rl : lat)
+                               if (rl.rank == r)
+                                   return !rl.alive;
+                           return false;
+                       }),
+        latchedStragglers.end());
+
     // Median over every rank with a sample (a peer that has not yet
     // reported shows 0 and is excluded; so is a dead one).
     std::vector<uint64_t> samples;

@@ -190,13 +190,10 @@ StatRegistry::dumpJson(Cycles at) const
     return out;
 }
 
-namespace
-{
-
 // RFC-4180 quoting for the few names that need it (commas or quotes
 // are possible now that stat names accept printable ASCII).
 std::string
-csvField(const std::string &s)
+StatRegistry::csvField(const std::string &s)
 {
     if (s.find(',') == std::string::npos &&
         s.find('"') == std::string::npos)
@@ -210,8 +207,6 @@ csvField(const std::string &s)
     out += '"';
     return out;
 }
-
-} // namespace
 
 std::string
 StatRegistry::dumpCsv(Cycles at) const

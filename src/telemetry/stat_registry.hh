@@ -104,6 +104,11 @@ class StatRegistry
     /** Format @p v the way the dumps do (integers stay integral). */
     static std::string formatValue(double v);
 
+    /** RFC-4180 CSV field quoting for stat names (commas/quotes are
+     *  legal in names). Shared by dumpCsv and the cross-shard
+     *  aggregator's mergedCsv so the two emit identical quoting. */
+    static std::string csvField(const std::string &s);
+
   private:
     static void validateName(const std::string &name);
 

@@ -180,6 +180,76 @@ TEST(KnobParseDeath, ShardTransportIsStrict)
         ::testing::ExitedWithCode(2), "FIRESIM_SHARD_TRANSPORT");
 }
 
+TEST(KnobParse, ShardPolicyAndProfileFlagsRoundTrip)
+{
+    EXPECT_EQ(bench::shardPolicyIdRef(), 0u) << "block is the default";
+    parseOneFlag("--shard-policy=cost");
+    EXPECT_EQ(bench::shardPolicyIdRef(), 1u);
+    parseOneFlag("--shard-policy=block");
+    EXPECT_EQ(bench::shardPolicyIdRef(), 0u);
+    parseOneFlag("--shard-profile-in=/tmp/fs.prof");
+    EXPECT_EQ(bench::shardProfileInRef(), "/tmp/fs.prof");
+    parseOneFlag("--shard-profile-out=/tmp/fs-out.prof");
+    EXPECT_EQ(bench::shardProfileOutRef(), "/tmp/fs-out.prof");
+}
+
+TEST(KnobParseDeath, ShardPolicyIsStrict)
+{
+    EXPECT_EXIT(parseOneFlag("--shard-policy=greedy"),
+                ::testing::ExitedWithCode(2), "block or cost");
+    EXPECT_EXIT(parseOneFlag("--shard-policy="),
+                ::testing::ExitedWithCode(2), "--shard-policy");
+    EXPECT_EXIT(parseOneFlag("--shard-policy=Cost"),
+                ::testing::ExitedWithCode(2), "block or cost");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_SHARD_POLICY", "roundrobin", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_SHARD_POLICY");
+}
+
+TEST(KnobParse, StragglerAlphaRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(bench::stragglerAlphaRef(), 0.2)
+        << "the monitor's default EWMA weight";
+    parseOneFlag("--straggler-alpha=0.5");
+    EXPECT_DOUBLE_EQ(bench::stragglerAlphaRef(), 0.5);
+    parseOneFlag("--straggler-alpha=1.0");
+    EXPECT_DOUBLE_EQ(bench::stragglerAlphaRef(), 1.0);
+    parseOneFlag("--straggler-alpha=.25");
+    EXPECT_DOUBLE_EQ(bench::stragglerAlphaRef(), 0.25);
+}
+
+TEST(KnobParseDeath, StragglerAlphaDemandsUnitInterval)
+{
+    // The monitor folds alpha into a /256 fixed-point weight whose
+    // complement underflows outside (0, 1]; the knob rejects those
+    // values outright rather than silently clamping.
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=0"),
+                ::testing::ExitedWithCode(2), "value in");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=0.0"),
+                ::testing::ExitedWithCode(2), "value in");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=1.5"),
+                ::testing::ExitedWithCode(2), "value in");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=-0.2"),
+                ::testing::ExitedWithCode(2), "--straggler-alpha");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=fast"),
+                ::testing::ExitedWithCode(2), "--straggler-alpha");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha= 0.5"),
+                ::testing::ExitedWithCode(2), "--straggler-alpha");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha=0.5x"),
+                ::testing::ExitedWithCode(2), "--straggler-alpha");
+    EXPECT_EXIT(parseOneFlag("--straggler-alpha="),
+                ::testing::ExitedWithCode(2), "--straggler-alpha");
+    EXPECT_EXIT(
+        {
+            setenv("FIRESIM_STRAGGLER_ALPHA", "2.0", 1);
+            parseCommonFlags(0, nullptr);
+        },
+        ::testing::ExitedWithCode(2), "FIRESIM_STRAGGLER_ALPHA");
+}
+
 TEST(KnobParse, ObservabilityFlagsRoundTrip)
 {
     parseOneFlag("--heartbeat-every=64");

@@ -35,13 +35,50 @@ TEST(ShardPlan, HashCoversTimingAndShape)
     SwitchSpec t = topologies::twoLevel(2, 2);
     uint64_t base = ShardPlan::build(t, 2, 6400, 10, 0).topoHash;
     // Any input whose disagreement would desynchronize shards must
-    // change the hash: latencies, window, shard count, topology shape.
+    // change the topology hash: latencies, window, topology shape.
     EXPECT_NE(base, ShardPlan::build(t, 2, 3200, 10, 0).topoHash);
     EXPECT_NE(base, ShardPlan::build(t, 2, 6400, 20, 0).topoHash);
     EXPECT_NE(base, ShardPlan::build(t, 2, 6400, 10, 100).topoHash);
-    EXPECT_NE(base, ShardPlan::build(t, 4, 6400, 10, 0).topoHash);
     SwitchSpec other = topologies::twoLevel(2, 3);
     EXPECT_NE(base, ShardPlan::build(other, 2, 6400, 10, 0).topoHash);
+    // The shard count and owner map deliberately do NOT change the
+    // topology hash — that is what lets one snapshot restore under a
+    // different plan. They do change the plan hash the transport's
+    // Hello exchanges.
+    uint64_t plan2 = ShardPlan::build(t, 2, 6400, 10, 0).planHash;
+    EXPECT_EQ(base, ShardPlan::build(t, 4, 6400, 10, 0).topoHash);
+    EXPECT_NE(plan2, ShardPlan::build(t, 4, 6400, 10, 0).planHash);
+    EXPECT_NE(plan2,
+              ShardPlan::build(t, 2, 6400, 10, 0, {0, 0, 0, 1}).planHash);
+}
+
+TEST(ShardPlan, ExplicitOwnerMapRespected)
+{
+    SwitchSpec t = topologies::twoLevel(2, 2);
+    ShardPlan plan =
+        ShardPlan::build(t, 2, 6400, 10, 0, {1, 0, 0, 1});
+    EXPECT_EQ(plan.serverOwner, (std::vector<uint32_t>{1, 0, 0, 1}));
+    // Switches still follow their first (preorder-lowest) server.
+    ASSERT_EQ(plan.switchOwner.size(), 3u);
+    EXPECT_EQ(plan.switchOwner[0], 1u); // root's first server is 0
+    EXPECT_EQ(plan.switchOwner[1], 1u); // tor0 owns servers 0,1
+    EXPECT_EQ(plan.switchOwner[2], 0u); // tor1 owns servers 2,3
+    // Same map, same hash; block map differs.
+    EXPECT_EQ(plan.planHash,
+              ShardPlan::build(t, 2, 6400, 10, 0, {1, 0, 0, 1}).planHash);
+    EXPECT_NE(plan.planHash,
+              ShardPlan::build(t, 2, 6400, 10, 0).planHash);
+}
+
+TEST(ShardPlanDeath, OwnerMapValidated)
+{
+    SwitchSpec t = topologies::twoLevel(2, 2);
+    EXPECT_EXIT(ShardPlan::build(t, 2, 6400, 10, 0, {0, 1, 0}),
+                ::testing::ExitedWithCode(1), "owner map");
+    EXPECT_EXIT(ShardPlan::build(t, 2, 6400, 10, 0, {0, 2, 0, 1}),
+                ::testing::ExitedWithCode(1), "owner");
+    EXPECT_EXIT(ShardPlan::build(t, 2, 6400, 10, 0, {0, 0, 0, 0}),
+                ::testing::ExitedWithCode(1), "no servers");
 }
 
 TEST(ShardPlan, CountsAndLinksMatchTopology)

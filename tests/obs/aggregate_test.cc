@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/varint.hh"
 #include "telemetry/aggregate.hh"
 #include "tests/telemetry/mini_json.hh"
 
@@ -179,6 +180,58 @@ TEST(StatAggregator, MergedCsvMatchesRegistryShape)
     agg.accept(rt);
     EXPECT_EQ(agg.mergedCsv(),
               "# cycle 77\nstat,value\nrank0.a.one,3\nrank0.b.two,1.5\n");
+}
+
+TEST(StatAggregator, MergedCsvQuotesNamesLikeTheRegistry)
+{
+    // A peer's stat name may legally contain commas or quotes; the
+    // merged CSV must RFC-4180-quote the whole field the way
+    // StatRegistry::dumpCsv does, or one hostile name shifts every
+    // later column.
+    StatAggregator agg;
+    RankTelemetry rt;
+    rt.rank = 2;
+    rt.cycle = 9;
+    rt.stats.values = {{"plain.name", 1.0},
+                       {"with,comma", 2.0},
+                       {"with\"quote", 3.0}};
+    agg.accept(rt);
+    EXPECT_EQ(agg.mergedCsv(),
+              "# cycle 9\nstat,value\n"
+              "rank2.plain.name,1\n"
+              "\"rank2.with,comma\",2\n"
+              "\"rank2.with\"\"quote\",3\n");
+}
+
+TEST(RankTelemetryCodec, HostileCountsCannotReserveUnboundedMemory)
+{
+    // A hand-built header claiming ~2^40 stats in a 5-byte body: the
+    // decoder must fail cleanly (and fast) instead of reserving
+    // terabytes up front on the peer's say-so.
+    std::string bytes;
+    putVarint(bytes, 1);                  // version
+    putVarint(bytes, 0);                  // rank
+    putVarint(bytes, 1);                  // round
+    putVarint(bytes, 2);                  // cycle
+    putVarint(bytes, 1ULL << 40);         // nstats (hostile)
+    bytes += "\x01\x01";                  // garbage tail
+    RankTelemetry out;
+    EXPECT_FALSE(decodeRankTelemetry(bytes, out));
+    EXPECT_LT(out.stats.values.capacity(), 1024u)
+        << "peer-controlled stat count drove the reserve";
+
+    // Same for the phase count, after a valid empty stats table.
+    std::string bytes2;
+    putVarint(bytes2, 1);                 // version
+    putVarint(bytes2, 0);                 // rank
+    putVarint(bytes2, 1);                 // round
+    putVarint(bytes2, 2);                 // cycle
+    putVarint(bytes2, 0);                 // nstats
+    putVarint(bytes2, 1ULL << 40);        // nphases (hostile)
+    RankTelemetry out2;
+    EXPECT_FALSE(decodeRankTelemetry(bytes2, out2));
+    EXPECT_LT(out2.phases.capacity(), 1024u)
+        << "peer-controlled phase count drove the reserve";
 }
 
 TEST(StatAggregator, MergedTraceAlignsLanesOnSimulatedCycles)

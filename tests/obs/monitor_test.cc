@@ -239,6 +239,96 @@ TEST(ClusterMonitor, HeartbeatsMirrorIntoTheFlightRecorder)
     std::remove(hb.c_str());
 }
 
+TEST(ClusterMonitor, RotatesLeftoverHeartbeatTrailToPrev)
+{
+    // A crashed run's heartbeat trail is the postmortem's primary
+    // source; reopening with "wb" used to truncate it silently. The
+    // monitor must rotate a non-empty leftover to `.prev` instead.
+    std::string hb = ::testing::TempDir() + "fsobs_rotate.jsonl";
+    std::string prev = hb + ".prev";
+    std::remove(hb.c_str());
+    std::remove(prev.c_str());
+    {
+        std::FILE *f = std::fopen(hb.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"cycle\": 123}\n", f);
+        std::fclose(f);
+    }
+
+    MonitorConfig mc;
+    mc.heartbeatEvery = 1;
+    mc.heartbeatPath = hb;
+    {
+        ClusterMonitor mon(mc, 0, 1);
+        mon.emitHeartbeat(1000, 0);
+    }
+    EXPECT_EQ(readFile(prev), "{\"cycle\": 123}\n")
+        << "the pre-crash trail must survive as .prev";
+    std::vector<std::string> fresh = lines(readFile(hb));
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_DOUBLE_EQ(minijson::parse(fresh[0])->at("cycle").number,
+                     1000.0);
+
+    std::remove(hb.c_str());
+    std::remove(prev.c_str());
+}
+
+TEST(ClusterMonitor, EmptyLeftoverHeartbeatFileIsNotRotated)
+{
+    std::string hb = ::testing::TempDir() + "fsobs_rotate_empty.jsonl";
+    std::string prev = hb + ".prev";
+    std::remove(hb.c_str());
+    std::remove(prev.c_str());
+    {
+        std::FILE *f = std::fopen(hb.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fclose(f); // zero bytes: nothing worth keeping
+    }
+
+    MonitorConfig mc;
+    mc.heartbeatEvery = 1;
+    mc.heartbeatPath = hb;
+    ClusterMonitor mon(mc, 0, 1);
+    std::FILE *p = std::fopen(prev.c_str(), "rb");
+    EXPECT_EQ(p, nullptr) << "an empty leftover must not create .prev";
+    if (p)
+        std::fclose(p);
+
+    std::remove(hb.c_str());
+    std::remove(prev.c_str());
+}
+
+TEST(ClusterMonitor, OutOfRangeAlphaCannotUnderflowTheEwma)
+{
+    // The EWMA folds alpha into a /256 fixed-point weight w; an alpha
+    // past 1.0 used to make (256 - w) underflow, multiplying the EWMA
+    // by ~16.7e6 every sample. Clamped, alpha >= 1.0 simply tracks the
+    // newest sample.
+    std::string hb = ::testing::TempDir() + "fsobs_alpha.jsonl";
+    std::remove(hb.c_str());
+
+    MonitorConfig mc;
+    mc.heartbeatEvery = 100; // no heartbeats; only the EWMA matters
+    mc.heartbeatPath = hb;
+    mc.latencySampleEvery = 1;
+    mc.ewmaAlpha = 5.0; // folds to w = 1280, far past the 256 ceiling
+    ClusterMonitor mon(mc, 0, 1);
+    for (uint64_t round = 0; round < 6; ++round) {
+        mon.onRoundStart(round * 400, round);
+        // Burn a measurable interval so every sample is nonzero and
+        // the blend path (not the first-sample shortcut) runs.
+        volatile uint64_t spin = 0;
+        for (int i = 0; i < 5000; ++i)
+            spin += static_cast<uint64_t>(i);
+        mon.onRoundEnd(round * 400, round);
+    }
+    EXPECT_GT(mon.roundLatencyNs(), 0u);
+    EXPECT_LT(mon.roundLatencyNs(), 1000000000000ull)
+        << "a sub-ms round must never read as >1000 s of latency";
+
+    std::remove(hb.c_str());
+}
+
 TEST(ClusterMonitor, StragglerSinkLatchesOncePerRank)
 {
     // No transport: the only latency sample is the local EWMA, so

@@ -314,6 +314,64 @@ TEST(ObsCluster, ShardedHeartbeatsCoverEveryRankAndLatchStragglers)
     std::remove(prom0.c_str());
 }
 
+TEST(ObsCluster, StragglersDetectWithoutHeartbeatsAndUnlatchDeadRanks)
+{
+    // Straggler detection rides the latency-sampling stride, not the
+    // heartbeat cadence: a run with heartbeats off entirely (only a
+    // Prometheus path keeps the monitor alive) must still latch — and
+    // a latched rank that dies must be unlatched, because a corpse is
+    // not a straggler.
+    constexpr Cycles kHalf = 20000; // 50 rounds at linkLatency 400
+    std::string prom_base = ::testing::TempDir() + "fsobs_nohb.prom";
+    std::remove(snapshotRankPath(prom_base, 2, 0).c_str());
+    std::remove(snapshotRankPath(prom_base, 2, 1).c_str());
+
+    auto [fd0, fd1] = localSocketPair();
+    ClusterConfig cc0, cc1;
+    cc0.linkLatency = cc1.linkLatency = 400;
+    cc0.shard.shards = cc1.shard.shards = 2;
+    cc0.shard.rank = 0;
+    cc1.shard.rank = 1;
+    cc0.monitor.heartbeatEvery = cc1.monitor.heartbeatEvery = 0;
+    cc0.monitor.metricsPath = cc1.monitor.metricsPath = prom_base;
+    cc0.monitor.latencySampleEvery = cc1.monitor.latencySampleEvery = 1;
+    cc0.monitor.stragglerFactor = cc1.monitor.stragglerFactor = 0.0;
+    std::vector<std::pair<uint32_t, SocketFd>> fds0, fds1;
+    fds0.emplace_back(1, std::move(fd0));
+    fds1.emplace_back(0, std::move(fd1));
+
+    std::thread shard1([&] {
+        Cluster c1(topologies::singleTor(2), std::move(cc1),
+                   std::move(fds1));
+        c1.run(kHalf);
+        // Destruction sends Bye: rank 0 sees an orderly mid-run exit.
+    });
+    Cluster c0(topologies::singleTor(2), std::move(cc0),
+               std::move(fds0));
+    c0.run(kHalf);
+    ASSERT_NE(c0.clusterMonitor(), nullptr);
+    EXPECT_EQ(c0.clusterMonitor()->heartbeats(), 0u)
+        << "heartbeats are off; detection must not depend on them";
+    std::vector<uint32_t> latched = c0.clusterMonitor()->stragglers();
+    ASSERT_EQ(latched.size(), 2u)
+        << "factor 0 must latch both ranks from the sampled path alone";
+    EXPECT_EQ(latched[0], 0u);
+    EXPECT_EQ(latched[1], 1u);
+    shard1.join();
+
+    // Rank 1 is gone; rank 0 keeps running degraded. The detector must
+    // drop the dead rank from the latched set.
+    c0.run(kHalf);
+    latched = c0.clusterMonitor()->stragglers();
+    ASSERT_EQ(latched.size(), 1u)
+        << "a dead rank must be unlatched from firesim_stragglers";
+    EXPECT_EQ(latched[0], 0u);
+    EXPECT_GE(c0.health().count(FaultEvent::Kind::PeerShardLost), 1u);
+
+    std::remove(snapshotRankPath(prom_base, 2, 0).c_str());
+    std::remove(snapshotRankPath(prom_base, 2, 1).c_str());
+}
+
 TEST(ObsCluster, KilledPeerLeavesAPostmortemOnRankZero)
 {
     constexpr Cycles kChildRun = 8000;
